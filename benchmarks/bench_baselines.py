@@ -1,0 +1,112 @@
+"""BASE: comparisons against the related-work baselines (Section 1).
+
+Three comparisons, with the paper's qualitative claims asserted:
+
+1. **Whole-program inference**: needs every implementation (goes to the
+   top effect without them) and answers frame queries object-insensitively
+   — the data-group checker answers the paper's q/v.cnt query where the
+   inference cannot.
+2. **Greenhouse–Boyland regions**: rejects multi-group programs that data
+   groups verify.
+3. **Naive modular checking**: faster per implementation (fewer
+   obligations), but unsound — the price of dropping the restrictions.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_row
+from repro.api import check_program, parse_program
+from repro.baselines.naive_modular import naive_check_scope
+from repro.baselines.regions import check_single_region
+from repro.baselines.whole_program import frame_query, infer_effects
+from repro.corpus.programs import (
+    SECTION3_CLIENT,
+    SECTION3_OWNER_BAD_CALL,
+    SECTION3_W,
+)
+from repro.vcgen.checker import check_scope
+
+MULTI_GROUP = """
+group position
+group appearance
+field x in position
+field color in appearance
+field z in position, appearance
+proc move(t) modifies t.position
+impl move(t) { assume t != null ; t.x := 1 ; t.z := 2 }
+"""
+
+
+def test_base_whole_program_needs_whole_program(benchmark):
+    # Interface-only scope: inference degenerates to the top effect.
+    scope = parse_program(SECTION3_CLIENT)
+    table = benchmark(infer_effects, scope)
+    print_row(
+        "BASE",
+        baseline="whole-program",
+        whole_program_available=table.whole_program,
+        push_effects=sorted(table.writes("push")),
+    )
+    assert not table.whole_program
+    # push has no impl here: inference must assume it writes everything.
+    assert table.writes("push") == set(scope.fields)
+
+
+def test_base_whole_program_is_object_insensitive(benchmark, limits):
+    # Give push an implementation that writes *some* stack's cnt: the
+    # field-level inference now says NO x.cnt survives push, while the
+    # data-group checker still verifies q's v.cnt.
+    source = SECTION3_CLIENT + (
+        "\nfield vec in contents maps cnt into contents"
+        "\nimpl push(st, o) { assume st != null ; assume st.vec != null ;"
+        " st.vec.cnt := o + 0 }"
+        "\nimpl m(st, r) { assume r != null ; r.obj := new() }"
+    )
+    scope = parse_program(source)
+    table = infer_effects(scope)
+    inference_preserves = frame_query(table, "push", "cnt")
+    report = benchmark.pedantic(
+        lambda: check_scope(scope, limits), rounds=1, iterations=1
+    )
+    groups_verify_q = report.verdict_for("q").ok
+    print_row(
+        "BASE",
+        baseline="whole-program precision",
+        inference_answers_q=inference_preserves,
+        data_groups_answer_q=groups_verify_q,
+    )
+    assert not inference_preserves  # field-level: cnt is written somewhere
+    assert groups_verify_q  # object-level: but not *v's* cnt
+
+
+def test_base_regions_reject_multi_group(benchmark, limits):
+    scope = parse_program(MULTI_GROUP)
+    violations = benchmark(check_single_region, scope)
+    report = check_program(MULTI_GROUP, limits)
+    print_row(
+        "BASE",
+        baseline="regions",
+        region_violations=len(violations),
+        data_groups_verdict="ok" if report.ok else "failed",
+    )
+    assert violations and report.ok
+
+
+def test_base_naive_is_cheaper_but_unsound(benchmark, limits):
+    source = SECTION3_W + SECTION3_OWNER_BAD_CALL
+    scope = parse_program(source)
+
+    naive = benchmark.pedantic(
+        lambda: naive_check_scope(scope, limits), rounds=1, iterations=1
+    )
+    full = check_scope(scope, limits)
+    print_row(
+        "BASE",
+        baseline="naive",
+        naive_accepts_bad_call=naive.verdict_for("bad").ok,
+        full_rejects_bad_call=not full.verdict_for("bad").ok,
+        naive_seconds=round(naive.elapsed, 3),
+        full_seconds=round(full.elapsed, 3),
+    )
+    assert naive.verdict_for("bad").ok
+    assert not full.verdict_for("bad").ok

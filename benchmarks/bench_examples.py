@@ -1,0 +1,64 @@
+"""EX-5.1 / EX-5.2 / EX-5.3: the paper's three worked verification examples.
+
+Paper claims reproduced here:
+
+* EX-5.1 (``p``/``q`` with the ``t.c.d.g`` designator) — three proof
+  obligations, discharged mechanically.
+* EX-5.2 (``once``/``twice``) — pivot uniqueness subsumes the
+  swinging-pivots restriction; "our proof system makes programs such as
+  the one above easy to prove".
+* EX-5.3 (linked list, cyclic ``g —next→ g``) — the paper's hand proof is
+  "delightfully simple", but its Simplify-based checker looped. Our
+  bounded relevancy-filtered prover closes it; the bench records the
+  instantiation counts that demonstrate the matching stayed bounded.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_row
+from repro.api import check_program
+from repro.corpus.programs import LINKED_LIST, ONCE_TWICE, SECTION5_FIRST
+from repro.vcgen.checker import ImplStatus
+
+CASES = {
+    "EX-5.1": (SECTION5_FIRST, "p"),
+    "EX-5.2": (ONCE_TWICE, "twice"),
+    "EX-5.3": (LINKED_LIST, "updateAll"),
+}
+
+
+@pytest.mark.parametrize("experiment", sorted(CASES))
+def test_example_verifies(benchmark, limits, experiment):
+    source, impl_name = CASES[experiment]
+
+    def run():
+        return check_program(source, limits)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    verdict = report.verdict_for(impl_name)
+    stats = verdict.stats
+    print_row(
+        experiment,
+        impl=impl_name,
+        status=verdict.status.value,
+        instantiations=stats.instantiations,
+        branches=stats.branches,
+        rounds=stats.rounds,
+        prover_seconds=round(stats.elapsed, 3),
+    )
+    assert verdict.status is ImplStatus.VERIFIED
+    # The headline EX-5.3 claim: no matching loop — instantiations stay
+    # bounded (the paper's prover diverged on this example).
+    assert stats.instantiations < 1000
+
+
+def test_ex53_instantiation_profile(limits):
+    """Which axioms the cyclic-inclusion proof actually exercises."""
+    report = check_program(LINKED_LIST, limits)
+    stats = report.verdict_for("updateAll").stats
+    top = sorted(stats.per_quantifier.items(), key=lambda kv: -kv[1])[:6]
+    for name, count in top:
+        print_row("EX-5.3-profile", axiom=name, instances=count)
+    assert any(name == "inc-step" for name, _ in top), (
+        "the cyclic proof must step through the rep inclusion"
+    )

@@ -1,0 +1,40 @@
+"""FIG0/FIG1: the oolong grammar (Figures 0 and 1).
+
+The paper's figures define the language; the reproduction artifact is the
+frontend itself. These benches time parsing and the parse/print round-trip
+over the full paper corpus and a large synthetic program.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_row
+from repro.corpus.generators import generate_wide_scope
+from repro.corpus.programs import PAPER_PROGRAMS
+from repro.oolong.parser import parse_program_text
+from repro.oolong.pretty import pretty_program
+
+ALL_SOURCES = "\n".join(PAPER_PROGRAMS.values())
+
+
+def test_fig0_parse_corpus(benchmark):
+    decls = benchmark(parse_program_text, ALL_SOURCES)
+    print_row("FIG0", corpus_decls=len(decls))
+    assert len(decls) >= 25
+
+
+def test_fig0_round_trip_corpus(benchmark):
+    decls = parse_program_text(ALL_SOURCES)
+
+    def round_trip():
+        return parse_program_text(pretty_program(decls))
+
+    again = benchmark(round_trip)
+    assert again == decls
+    print_row("FIG0", round_trip="stable")
+
+
+def test_fig1_parse_wide_synthetic(benchmark):
+    source = generate_wide_scope(200)
+    decls = benchmark(parse_program_text, source)
+    print_row("FIG1", synthetic_decls=len(decls), source_bytes=len(source))
+    assert len(decls) == 203

@@ -1,0 +1,56 @@
+"""MS: the modular-soundness (scope monotonicity) experiment.
+
+Every verifiable corpus implementation is checked in its own scope D and
+re-checked in an extension E ⊇ D; the paper's theorem demands zero
+monotonicity violations. The extension used adds a new group, a field
+inside an *existing* group, and a new pivot — the declarations most likely
+to perturb inclusion reasoning.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_row
+from repro.api import parse_program
+from repro.corpus.programs import (
+    LINKED_LIST,
+    ONCE_TWICE,
+    RATIONAL,
+    SECTION3_CLIENT,
+    SECTION3_W,
+    SECTION5_FIRST,
+)
+from repro.modular.monotonicity import check_monotonicity
+from repro.oolong.parser import parse_program_text
+
+BASES = {
+    "RATIONAL": (RATIONAL, "group ms_extra\nfield ms_f in value"),
+    "EX-3.0": (SECTION3_CLIENT, "field ms_vec in contents maps cnt into contents"),
+    "EX-3.1": (SECTION3_W, "group ms_extra\nfield ms_f in ms_extra"),
+    "EX-5.1": (SECTION5_FIRST, "group ms_extra\nfield ms_piv maps g into ms_extra"),
+    "EX-5.2": (ONCE_TWICE, "field ms_f in g"),
+    "EX-5.3": (LINKED_LIST, "field ms_f in g"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(BASES))
+def test_monotonicity(benchmark, limits, name):
+    base_source, extension_source = BASES[name]
+    base = parse_program(base_source)
+    extension = parse_program_text(extension_source)
+
+    report = benchmark.pedantic(
+        lambda: check_monotonicity(base, extension, limits),
+        rounds=1,
+        iterations=1,
+    )
+    print_row(
+        "MS",
+        base=name,
+        impls=len(report.results),
+        violations=len(report.violations),
+        verdicts=";".join(
+            f"{r.impl_name}:{r.base_verdict.value}->{r.extended_verdict.value}"
+            for r in report.results
+        ),
+    )
+    assert report.monotone

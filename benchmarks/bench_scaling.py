@@ -1,0 +1,45 @@
+"""SCALE: checker cost versus program size.
+
+The paper's feasibility claim ("using a theorem prover as part of a
+program analysis engine is feasible") made measurable: wall time of the
+full check along four synthetic axes — declaration count, local-inclusion
+depth, pivot-chain depth, and call-chain length. The asserted shape: all
+sweeps verify, and cost grows without blowing past the budget.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_row
+from repro.api import check_program
+from repro.corpus.generators import (
+    generate_call_chain,
+    generate_deep_groups,
+    generate_pivot_tower,
+    generate_wide_scope,
+)
+
+SWEEPS = {
+    "wide-scope": (generate_wide_scope, (4, 8, 16)),
+    "deep-groups": (generate_deep_groups, (2, 6, 12)),
+    "pivot-tower": (generate_pivot_tower, (1, 2, 3)),
+    "call-chain": (generate_call_chain, (1, 3, 6)),
+}
+
+
+@pytest.mark.parametrize("axis", sorted(SWEEPS))
+def test_scaling_axis(benchmark, limits, axis):
+    generator, sizes = SWEEPS[axis]
+    results = {}
+
+    def sweep():
+        out = {}
+        for size in sizes:
+            out[size] = check_program(generator(size), limits)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    times = {}
+    for size, report in results.items():
+        assert report.ok, f"{axis}@{size}: {report.describe()}"
+        times[size] = round(report.elapsed, 3)
+    print_row("SCALE", axis=axis, seconds_by_size=times)

@@ -1,0 +1,128 @@
+"""EX-3.0 / EX-3.1: the motivating scenarios of Section 3.
+
+Reproduced shape (per DESIGN.md):
+
+* the client programs verify *modularly* (without the private stack
+  implementation in scope);
+* the alias-leaking ``m`` is rejected syntactically by pivot uniqueness;
+* the forbidden call ``w(st, st.vec)`` is rejected by owner exclusion;
+* the naive baseline (no restrictions) accepts everything — and the
+  interpreter then exhibits the runtime assertion failure, i.e. the two
+  restrictions are exactly what buys modular soundness.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_row
+from repro.api import check_program, parse_program
+from repro.baselines.naive_modular import naive_check_scope
+from repro.corpus.programs import (
+    SECTION3_CLIENT,
+    SECTION3_CLIENT_INIT,
+    SECTION3_LEAKING_M,
+    SECTION3_OWNER_BAD_CALL,
+    SECTION3_OWNER_DRIVER,
+    SECTION3_UNSOUND_IMPLS,
+    SECTION3_W,
+)
+from repro.restrictions.pivot import check_pivot_uniqueness
+from repro.semantics.interp import ExplorationConfig, OutcomeKind, explore_program
+
+NO_MONITORS = ExplorationConfig(
+    check_modifies=False,
+    check_pivot_uniqueness=False,
+    check_owner_exclusion=False,
+)
+
+
+def test_ex30_client_verifies_modularly(benchmark, limits):
+    report = benchmark.pedantic(
+        lambda: check_program(SECTION3_CLIENT, limits), rounds=1, iterations=1
+    )
+    verdict = report.verdict_for("q")
+    print_row(
+        "EX-3.0",
+        scenario="client q",
+        status=verdict.status.value,
+        instantiations=verdict.stats.instantiations,
+    )
+    assert verdict.ok
+
+
+def test_ex30_leak_rejected(benchmark):
+    scope = parse_program(SECTION3_CLIENT + SECTION3_LEAKING_M)
+    violations = benchmark(check_pivot_uniqueness, scope)
+    print_row("EX-3.0", scenario="leaking m", violations=len(violations))
+    assert violations
+
+
+def test_ex30_naive_accepts_and_runtime_fails(benchmark, limits):
+    scope = parse_program(SECTION3_CLIENT_INIT + SECTION3_UNSOUND_IMPLS)
+    report = naive_check_scope(scope, limits)
+    outcomes = benchmark.pedantic(
+        lambda: explore_program(scope, "q2", config=NO_MONITORS),
+        rounds=1,
+        iterations=1,
+    )
+    leaked_ok = all(v.ok for v in report.verdicts if v.impl.name == "m")
+    wrong = sum(1 for o in outcomes if o.kind is OutcomeKind.WRONG_ASSERT)
+    print_row(
+        "EX-3.0",
+        scenario="naive+runtime",
+        naive_accepts_leak=leaked_ok,
+        runtime_assert_failures=wrong,
+    )
+    assert leaked_ok and wrong > 0
+
+
+def test_ex31_w_verifies_and_bad_call_rejected(benchmark, limits):
+    source = SECTION3_W + SECTION3_OWNER_BAD_CALL
+
+    report = benchmark.pedantic(
+        lambda: check_program(source, limits), rounds=1, iterations=1
+    )
+    w_verdict = report.verdict_for("w")
+    bad_verdict = report.verdict_for("bad")
+    print_row(
+        "EX-3.1",
+        w=w_verdict.status.value,
+        bad_call=bad_verdict.status.value,
+    )
+    assert w_verdict.ok and not bad_verdict.ok
+
+
+def test_ex31_naive_accepts_and_runtime_fails(benchmark, limits):
+    scope = parse_program(
+        SECTION3_W + SECTION3_OWNER_BAD_CALL + SECTION3_OWNER_DRIVER
+    )
+    report = naive_check_scope(scope, limits)
+    outcomes = benchmark.pedantic(
+        lambda: explore_program(scope, "main", config=NO_MONITORS),
+        rounds=1,
+        iterations=1,
+    )
+    wrong = sum(1 for o in outcomes if o.kind is OutcomeKind.WRONG_ASSERT)
+    print_row(
+        "EX-3.1",
+        scenario="naive+runtime",
+        naive_ok=report.ok,
+        runtime_assert_failures=wrong,
+    )
+    assert report.ok and wrong > 0
+
+
+def test_ex31_monitors_catch_violation_first(benchmark):
+    scope = parse_program(
+        SECTION3_W + SECTION3_OWNER_BAD_CALL + SECTION3_OWNER_DRIVER
+    )
+    outcomes = benchmark.pedantic(
+        lambda: explore_program(scope, "main"), rounds=1, iterations=1
+    )
+    kinds = {o.kind for o in outcomes}
+    print_row(
+        "EX-3.1",
+        scenario="monitored runtime",
+        owner_exclusion_flagged=OutcomeKind.OWNER_EXCLUSION_VIOLATION in kinds,
+    )
+    assert OutcomeKind.OWNER_EXCLUSION_VIOLATION in kinds
+    assert OutcomeKind.WRONG_ASSERT not in kinds

@@ -1,0 +1,92 @@
+"""FIG2/FIG3: wlp and the method-call semantics (Figures 2 and 3).
+
+Times verification-condition *generation* (no proving) over the corpus and
+prints the VC sizes — the artifact corresponding to the paper's semantics
+figures.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_row
+from repro.api import parse_program
+from repro.corpus.programs import PAPER_PROGRAMS
+from repro.logic.terms import (
+    And,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Pred,
+)
+from repro.vcgen.vc import vc_for_impl
+
+
+def formula_size(formula: Formula) -> int:
+    if isinstance(formula, (Eq, Pred)):
+        return 1
+    if isinstance(formula, Not):
+        return 1 + formula_size(formula.body)
+    if isinstance(formula, And):
+        return 1 + sum(formula_size(c) for c in formula.conjuncts)
+    if isinstance(formula, Or):
+        return 1 + sum(formula_size(d) for d in formula.disjuncts)
+    if isinstance(formula, Implies):
+        return 1 + formula_size(formula.antecedent) + formula_size(formula.consequent)
+    if isinstance(formula, Iff):
+        return 1 + formula_size(formula.left) + formula_size(formula.right)
+    if isinstance(formula, (Forall, Exists)):
+        return 1 + formula_size(formula.body)
+    return 1
+
+
+def all_impl_bundles():
+    bundles = []
+    for source in PAPER_PROGRAMS.values():
+        scope = parse_program(source)
+        for impls in scope.impls.values():
+            for impl in impls:
+                bundles.append((scope, impl))
+    return bundles
+
+
+def test_fig2_fig3_vc_generation(benchmark):
+    pairs = all_impl_bundles()
+
+    def generate_all():
+        return [vc_for_impl(scope, impl) for scope, impl in pairs]
+
+    bundles = benchmark(generate_all)
+    total_goal = sum(formula_size(b.goal) for b in bundles)
+    total_hyp = sum(
+        sum(formula_size(h) for h in b.hypotheses) for b in bundles
+    )
+    print_row(
+        "FIG2+FIG3",
+        impls=len(bundles),
+        total_goal_nodes=total_goal,
+        total_hypothesis_nodes=total_hyp,
+    )
+    assert len(bundles) >= 7
+    assert total_goal > 100
+
+
+def test_fig3_call_heavy_vc(benchmark):
+    """The call rule dominates VC size: compare a call chain's goals."""
+    from repro.corpus.generators import generate_call_chain
+
+    scope = parse_program(generate_call_chain(10))
+    impls = [impl for group in scope.impls.values() for impl in group]
+
+    def generate():
+        return [vc_for_impl(scope, impl) for impl in impls]
+
+    bundles = benchmark(generate)
+    sizes = sorted(formula_size(b.goal) for b in bundles)
+    print_row("FIG3", chain_impls=len(bundles), goal_sizes=f"{sizes[0]}..{sizes[-1]}")
+    # Every call contributes a frame quantifier, so callers' goals are
+    # strictly bigger than the leaf's.
+    assert sizes[-1] > sizes[0]

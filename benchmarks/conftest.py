@@ -1,0 +1,25 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each bench module regenerates one experiment row of EXPERIMENTS.md: it
+*times* the pipeline stage under pytest-benchmark and *prints* the
+qualitative row the paper reports (verdicts, who wins, by what shape),
+asserting the expected outcome so a regression fails loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.prover.core import Limits
+
+
+@pytest.fixture
+def limits():
+    """Prover limits used across benchmarks."""
+    return Limits(time_budget=120.0)
+
+
+def print_row(experiment: str, **fields) -> None:
+    """Print one experiment-result row in a stable grep-friendly format."""
+    rendered = " ".join(f"{key}={value}" for key, value in fields.items())
+    print(f"[{experiment}] {rendered}")

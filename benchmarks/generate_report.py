@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Regenerate the measured numbers recorded in EXPERIMENTS.md.
+
+Run:  python benchmarks/generate_report.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import check_program, parse_program
+from repro.baselines.naive_modular import naive_check_scope
+from repro.baselines.regions import check_single_region
+from repro.baselines.whole_program import frame_query, infer_effects
+from repro.corpus.generators import (
+    generate_call_chain,
+    generate_deep_groups,
+    generate_pivot_tower,
+    generate_wide_scope,
+)
+from repro.corpus.programs import (
+    LINKED_LIST,
+    ONCE_TWICE,
+    PAPER_PROGRAMS,
+    RATIONAL,
+    SECTION3_CLIENT,
+    SECTION3_CLIENT_INIT,
+    SECTION3_HONEST_IMPLS,
+    SECTION3_LEAKING_M,
+    SECTION3_OWNER_BAD_CALL,
+    SECTION3_OWNER_DRIVER,
+    SECTION3_UNSOUND_IMPLS,
+    SECTION3_W,
+    SECTION5_FIRST,
+)
+from repro.modular.monotonicity import check_monotonicity
+from repro.oolong.parser import parse_program_text
+from repro.prover.core import Limits
+from repro.restrictions.pivot import check_pivot_uniqueness
+from repro.semantics.interp import ExplorationConfig, OutcomeKind, explore_program
+
+LIMITS = Limits(time_budget=120.0)
+NO_MONITORS = ExplorationConfig(
+    check_modifies=False,
+    check_pivot_uniqueness=False,
+    check_owner_exclusion=False,
+)
+
+
+def corpus_table() -> None:
+    print("## corpus verification")
+    for name, source in PAPER_PROGRAMS.items():
+        report = check_program(source, LIMITS)
+        for verdict in report.verdicts:
+            stats = verdict.stats
+            print(
+                f"{name:14s} {verdict.impl.name:12s} {verdict.status.value:10s}"
+                f" inst={stats.instantiations:4d} branches={stats.branches:4d}"
+                f" rounds={stats.rounds:4d} time={stats.elapsed:7.3f}s"
+            )
+
+
+def section3() -> None:
+    print("\n## section 3 scenarios")
+    scope = parse_program(SECTION3_CLIENT + SECTION3_LEAKING_M)
+    violations = check_pivot_uniqueness(scope)
+    print(f"EX-3.0 leak rejected by pivot uniqueness: {len(violations)} violation(s)")
+
+    report = check_program(SECTION3_W + SECTION3_OWNER_BAD_CALL, LIMITS)
+    print(
+        f"EX-3.1 w={report.verdict_for('w').status.value}"
+        f" bad-call={report.verdict_for('bad').status.value}"
+    )
+
+    unsound = parse_program(SECTION3_W + SECTION3_OWNER_BAD_CALL + SECTION3_OWNER_DRIVER)
+    naive = naive_check_scope(unsound, LIMITS)
+    outcomes = explore_program(unsound, "main", config=NO_MONITORS)
+    wrong = sum(1 for o in outcomes if o.kind is OutcomeKind.WRONG_ASSERT)
+    print(f"EX-3.1 naive ok={naive.ok}; runtime assert failures={wrong}")
+
+    leaky = parse_program(SECTION3_CLIENT_INIT + SECTION3_UNSOUND_IMPLS)
+    naive30 = naive_check_scope(leaky, LIMITS)
+    outcomes30 = explore_program(leaky, "q2", config=NO_MONITORS)
+    wrong30 = sum(1 for o in outcomes30 if o.kind is OutcomeKind.WRONG_ASSERT)
+    monitored = explore_program(leaky, "q2")
+    pivot_flags = sum(
+        1 for o in monitored if o.kind is OutcomeKind.PIVOT_VIOLATION
+    )
+    print(
+        f"EX-3.0 naive ok={naive30.ok}; runtime assert failures={wrong30};"
+        f" pivot monitor flags={pivot_flags}"
+    )
+
+
+def monotonicity() -> None:
+    print("\n## scope monotonicity")
+    cases = {
+        "RATIONAL": (RATIONAL, "group ms_extra\nfield ms_f in value"),
+        "EX-3.0": (SECTION3_CLIENT, SECTION3_HONEST_IMPLS),
+        "EX-3.1": (SECTION3_W, "group ms_extra\nfield ms_f in ms_extra"),
+        "EX-5.1": (SECTION5_FIRST, "group ms_x\nfield ms_p maps g into ms_x"),
+        "EX-5.2": (ONCE_TWICE, "field ms_f in g"),
+        "EX-5.3": (LINKED_LIST, "field ms_f in g"),
+    }
+    violations = 0
+    checked = 0
+    for name, (base_source, extension_source) in cases.items():
+        report = check_monotonicity(
+            parse_program(base_source),
+            parse_program_text(extension_source),
+            LIMITS,
+        )
+        checked += len(report.results)
+        violations += len(report.violations)
+        print(f"{name:10s} impls={len(report.results)} violations={len(report.violations)}")
+    print(f"total: {checked} impl pairs, {violations} violations")
+
+
+def baselines() -> None:
+    print("\n## baselines")
+    interface = parse_program(SECTION3_CLIENT)
+    table = infer_effects(interface)
+    print(
+        f"whole-program on interface-only scope: whole_program={table.whole_program}"
+        f" push-effects={sorted(table.writes('push'))}"
+    )
+    full_source = SECTION3_CLIENT + (
+        "\nfield vec in contents maps cnt into contents"
+        "\nimpl push(st, o) { assume st != null ; assume st.vec != null ;"
+        " st.vec.cnt := o + 0 }"
+        "\nimpl m(st, r) { assume r != null ; r.obj := new() }"
+    )
+    full = parse_program(full_source)
+    table = infer_effects(full)
+    groups = check_program(full_source, LIMITS)
+    print(
+        "frame query 'does push preserve v.cnt':"
+        f" inference={frame_query(table, 'push', 'cnt')}"
+        f" data-groups(q)={groups.verdict_for('q').ok}"
+    )
+    multi = (
+        "group a\ngroup b\nfield z in a, b\n"
+        "proc p(t) modifies t.a\nimpl p(t) { assume t != null ; t.z := 1 }"
+    )
+    region_violations = check_single_region(parse_program(multi))
+    dg = check_program(multi, LIMITS)
+    print(
+        f"multi-group program: regions reject={bool(region_violations)}"
+        f" data-groups verify={dg.ok}"
+    )
+
+
+def scaling() -> None:
+    print("\n## scaling")
+    sweeps = {
+        "wide-scope": (generate_wide_scope, (4, 8, 16)),
+        "deep-groups": (generate_deep_groups, (2, 6, 12)),
+        "pivot-tower": (generate_pivot_tower, (1, 2, 3)),
+        "call-chain": (generate_call_chain, (1, 3, 6)),
+    }
+    for axis, (generator, sizes) in sweeps.items():
+        row = []
+        for size in sizes:
+            report = check_program(generator(size), LIMITS)
+            assert report.ok, f"{axis}@{size}"
+            row.append(f"{size}:{report.elapsed:.2f}s")
+        print(f"{axis:12s} " + "  ".join(row))
+
+
+def main() -> None:
+    start = time.monotonic()
+    corpus_table()
+    section3()
+    monotonicity()
+    baselines()
+    scaling()
+    print(f"\ntotal report time: {time.monotonic() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

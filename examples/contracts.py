@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Pre/postconditions via the paper's assert/assume discipline (Section 2).
+
+The paper points out that oolong needs no special contract constructs:
+
+    "for a precondition P, precede every call to p with assert P and start
+    every implementation of p with assume P; for a postcondition Q, end
+    every implementation of p with assert Q and follow each call to p
+    with assume Q"
+
+This reproduction offers ``requires``/``ensures`` surface syntax and
+desugars it with exactly that recipe — so contracts are checked both
+statically (in the VCs) and at runtime (by the interpreter), with no new
+machinery. Combined with modifies lists, callers get the full
+specification: *what* a procedure changes and *to what*.
+
+Run:  python examples/contracts.py
+"""
+
+from repro import check_program, parse_program
+from repro.prover.core import Limits
+from repro.semantics.interp import OutcomeKind, explore_program
+
+LIMITS = Limits(time_budget=60.0)
+
+COUNTER = """
+group state
+field count in state
+
+proc reset(c) modifies c.state requires c != null ensures c.count = 0
+impl reset(c) { c.count := 0 }
+
+proc bump(c) modifies c.state requires c != null
+impl bump(c) { c.count := c.count + 1 }
+
+proc fresh_counter()
+impl fresh_counter() {
+  var c in
+    c := new() ;
+    reset(c) ;
+    assert c.count = 0 ;
+    bump(c)
+  end
+}
+"""
+
+# The same library with a reset that breaks its postcondition.
+BROKEN = COUNTER.replace("impl reset(c) { c.count := 0 }",
+                         "impl reset(c) { c.count := 7 }")
+
+# A client that relies on reset's postcondition to prove its own assert.
+CLIENT = """
+group state
+field count in state
+proc reset(c) modifies c.state requires c != null ensures c.count = 0
+impl reset(c) { c.count := 0 }
+proc audit(c) modifies c.state requires c != null
+impl audit(c) {
+  reset(c) ;
+  assert c.count = 0
+}
+"""
+
+
+def verify_counter() -> None:
+    print("== the counter library verifies, contracts included ==")
+    report = check_program(COUNTER, LIMITS)
+    print(report.describe())
+    assert report.ok
+
+
+def catch_broken_postcondition() -> None:
+    print("\n== a reset violating 'ensures c.count = 0' is rejected ==")
+    report = check_program(BROKEN, LIMITS)
+    verdict = report.verdict_for("reset")
+    print(verdict.describe())
+    assert not verdict.ok
+
+    print("   ... and the interpreter catches it at runtime:")
+    scope = parse_program(BROKEN)
+    outcomes = explore_program(scope, "fresh_counter")
+    failing = [o for o in outcomes if o.kind is OutcomeKind.WRONG_ASSERT]
+    for outcome in failing:
+        print(f"   runtime: {outcome.detail}")
+    assert failing
+
+
+def client_relies_on_postcondition() -> None:
+    print("\n== a caller discharges its assert from reset's contract ==")
+    report = check_program(CLIENT, LIMITS)
+    print(report.describe())
+    assert report.ok
+
+
+def main() -> None:
+    verify_counter()
+    catch_broken_postcondition()
+    client_relies_on_postcondition()
+    print("\ncontract scenarios complete")
+
+
+if __name__ == "__main__":
+    main()

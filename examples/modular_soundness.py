@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Modular soundness: scope monotonicity, and how the naive system loses it.
+
+The paper's meta-claim: verification is *scope monotone* — a VC valid in a
+scope D stays valid in every extension E ⊇ D, because extensions only add
+background axioms. This example:
+
+1. verifies the Section 3.0 client ``q`` in its interface-only scope;
+2. re-verifies it in the extension that reveals the pivot field and the
+   private stack implementations — still valid (monotone);
+3. runs the *naive* baseline (restrictions disabled) on the extension that
+   contains the alias-leaking ``m``: every implementation is accepted, yet
+   executing the client makes its assert fail at runtime — the soundness
+   the restrictions buy;
+4. sweeps the corpus through the monotonicity harness.
+
+Run:  python examples/modular_soundness.py
+"""
+
+from repro import check_program, parse_program
+from repro.baselines.naive_modular import naive_check_scope
+from repro.corpus.programs import (
+    LINKED_LIST,
+    ONCE_TWICE,
+    SECTION3_CLIENT,
+    SECTION3_CLIENT_INIT,
+    SECTION3_HONEST_IMPLS,
+    SECTION3_UNSOUND_IMPLS,
+    SECTION5_FIRST,
+)
+from repro.modular.monotonicity import check_monotonicity
+from repro.oolong.parser import parse_program_text
+from repro.prover.core import Limits
+from repro.semantics.interp import ExplorationConfig, OutcomeKind, explore_program
+
+LIMITS = Limits(time_budget=90.0)
+
+
+def verify_in_small_scope() -> None:
+    print("== 1. q verifies in the interface-only scope ==")
+    report = check_program(SECTION3_CLIENT, LIMITS)
+    print(report.describe())
+    assert report.ok
+
+
+def verify_in_extension() -> None:
+    print("\n== 2. q still verifies when the pivot is revealed ==")
+    scope = parse_program(SECTION3_CLIENT)
+    extension = parse_program_text(SECTION3_HONEST_IMPLS)
+    monotonicity = check_monotonicity(scope, extension, LIMITS)
+    for result in monotonicity.results:
+        print(
+            f"impl {result.impl_name}: base={result.base_verdict.value} "
+            f"extended={result.extended_verdict.value}"
+        )
+    assert monotonicity.monotone
+
+
+def naive_system_is_unsound() -> None:
+    print("\n== 3. the naive system accepts the forbidden call; runtime disagrees ==")
+    from repro.corpus.programs import (
+        SECTION3_OWNER_BAD_CALL,
+        SECTION3_OWNER_DRIVER,
+        SECTION3_W,
+    )
+
+    scope = parse_program(
+        SECTION3_W + SECTION3_OWNER_BAD_CALL + SECTION3_OWNER_DRIVER
+    )
+    report = naive_check_scope(scope, LIMITS)
+    print(report.describe())
+    assert report.ok, "the naive checker must accept every implementation"
+
+    config = ExplorationConfig(
+        check_modifies=False,
+        check_pivot_uniqueness=False,
+        check_owner_exclusion=False,
+    )
+    outcomes = explore_program(scope, "main", config=config)
+    failing = [o for o in outcomes if o.kind is OutcomeKind.WRONG_ASSERT]
+    for outcome in failing:
+        print(f"runtime: {outcome.detail}")
+    assert failing, "the naively-verified program must fail at runtime"
+
+
+def corpus_sweep() -> None:
+    print("\n== 4. monotonicity sweep over the verifiable corpus ==")
+    extension_source = "group extra_group\nfield extra_field in extra_group"
+    for name, source in (
+        ("EX-5.1", SECTION5_FIRST),
+        ("EX-5.2", ONCE_TWICE),
+        ("EX-5.3", LINKED_LIST),
+    ):
+        scope = parse_program(source)
+        extension = parse_program_text(extension_source)
+        monotonicity = check_monotonicity(scope, extension, LIMITS)
+        status = "monotone" if monotonicity.monotone else "VIOLATED"
+        print(f"{name}: {status} over {len(monotonicity.results)} impls")
+        assert monotonicity.monotone
+
+
+def main() -> None:
+    verify_in_small_scope()
+    verify_in_extension()
+    naive_system_is_unsound()
+    corpus_sweep()
+    print("\nmodular soundness scenarios complete")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: specify and statically check side effects with data groups.
+
+The scenario is the paper's Section 2 rational-number library: the public
+interface promises that ``normalize`` only modifies the abstract ``value``
+group; the private implementation reveals that ``value`` contains the
+``num``/``den`` representation, which ``normalize`` rewrites.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import check_program
+from repro.prover.core import Limits
+
+GOOD = """
+// Public interface: value is an abstract data group.
+group value
+proc normalize(r) modifies r.value
+
+// Private implementation: value hides the representation fields.
+field num in value
+field den in value
+impl normalize(r) {
+  assume r != null ;
+  r.num := 1 ;
+  r.den := 1
+}
+"""
+
+# The same library with an implementation that oversteps its licence: it
+# writes a field *outside* the value group it declared.
+BAD = """
+group value
+field num in value
+field cached   // NOT in value: normalize has no licence to touch it
+proc normalize(r) modifies r.value
+impl normalize(r) {
+  assume r != null ;
+  r.num := 1 ;
+  r.cached := 0
+}
+"""
+
+
+def main() -> None:
+    limits = Limits(time_budget=30.0)
+
+    print("== checking the honest normalize ==")
+    report = check_program(GOOD, limits)
+    print(report.describe())
+    assert report.ok, "the honest implementation must verify"
+
+    print("\n== checking the overstepping normalize ==")
+    report = check_program(BAD, limits)
+    print(report.describe())
+    assert not report.ok, "writing outside the declared group must be caught"
+    verdict = report.verdict_for("normalize")
+    print(f"\ncaught: normalize oversteps its modifies licence "
+          f"({verdict.status.value})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim for environments whose setuptools lacks PEP 517 wheels."""
+
+from setuptools import setup
+
+setup()

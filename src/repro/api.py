@@ -1,0 +1,24 @@
+"""High-level convenience API: parse and check oolong programs."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.oolong.program import Scope
+from repro.oolong.wellformed import check_well_formed
+from repro.prover.core import Limits
+from repro.vcgen.checker import CheckReport, ImplVerdict, check_scope
+
+__all__ = ["CheckReport", "ImplVerdict", "check_program", "check_scope", "parse_program"]
+
+
+def parse_program(source: str) -> Scope:
+    """Parse an oolong program text into a well-formed scope."""
+    scope = Scope.from_source(source)
+    check_well_formed(scope)
+    return scope
+
+
+def check_program(source: str, limits: Optional[Limits] = None) -> CheckReport:
+    """Parse, validate, and verify an oolong program text."""
+    return check_scope(parse_program(source), limits)

@@ -1,0 +1,32 @@
+"""Baseline analyses the paper compares against (Section 1, Related Work).
+
+* :mod:`repro.baselines.naive_modular` — modular checking *without* the
+  two alias-confining restrictions: the "yes" horn of Section 3's dilemma.
+  It verifies the paper's motivating programs but also accepts the alias
+  leaks, and the interpreter exhibits the resulting runtime failures —
+  modular soundness is lost.
+* :mod:`repro.baselines.whole_program` — Jouvelot–Gifford-style effect
+  inference: computes per-procedure write effects from implementations,
+  needs the whole program, and answers frame queries at field-name
+  granularity (object-insensitive, hence coarser than data groups).
+* :mod:`repro.baselines.regions` — the Greenhouse–Boyland abstract-regions
+  restriction: a field may be included in at most one region. A structural
+  checker that rejects the multi-group programs data groups support.
+"""
+
+from repro.baselines.naive_modular import naive_check_scope
+from repro.baselines.regions import RegionViolation, check_single_region
+from repro.baselines.whole_program import (
+    EffectTable,
+    frame_query,
+    infer_effects,
+)
+
+__all__ = [
+    "EffectTable",
+    "RegionViolation",
+    "check_single_region",
+    "frame_query",
+    "infer_effects",
+    "naive_check_scope",
+]

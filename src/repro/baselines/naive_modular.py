@@ -1,0 +1,50 @@
+"""The unsound naive baseline: modular checking without alias confinement.
+
+This is the "yes" answer of Section 3.0's dilemma made concrete: the
+checker keeps the full background predicate (including the pivot
+uniqueness and no-cycle axioms, whose *justification* is exactly the
+restrictions it no longer enforces) but:
+
+* skips the syntactic pivot-uniqueness pass, and
+* drops owner-exclusion obligations and assumptions from the VCs.
+
+It therefore verifies the paper's client programs *and* the alias-leaking
+extensions of Sections 3.0/3.1; running the combined programs under the
+interpreter then exhibits the runtime assertion failures — i.e. this
+checker is modularly unsound, which is the point of the comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.oolong.contracts import desugar_contracts
+from repro.oolong.program import Scope
+from repro.oolong.wellformed import check_well_formed
+from repro.prover.core import Limits, Verdict
+from repro.vcgen.checker import CheckReport, ImplStatus, ImplVerdict
+from repro.vcgen.vc import vc_for_impl
+
+
+def naive_check_scope(scope: Scope, limits: Optional[Limits] = None) -> CheckReport:
+    """Check every implementation with restrictions disabled."""
+    start = time.monotonic()
+    check_well_formed(scope)
+    scope = desugar_contracts(scope)
+    report = CheckReport()
+    for impls in scope.impls.values():
+        for index, impl in enumerate(impls):
+            bundle = vc_for_impl(scope, impl, owner_exclusion=False)
+            result = bundle.prove(limits)
+            if result.verdict is Verdict.UNSAT:
+                status = ImplStatus.VERIFIED
+            elif result.verdict is Verdict.SAT:
+                status = ImplStatus.NOT_PROVED
+            else:
+                status = ImplStatus.RESOURCE_OUT
+            report.verdicts.append(
+                ImplVerdict(impl=impl, index=index, status=status, stats=result.stats)
+            )
+    report.elapsed = time.monotonic() - start
+    return report

@@ -1,0 +1,95 @@
+"""Command-line entry point: ``oolong-check [options] file.oolong ...``.
+
+Runs the full pipeline — parse, well-formedness, pivot uniqueness, VC
+generation, mechanical proof — and prints a per-implementation report,
+exiting non-zero if any check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.oolong.program import Scope
+from repro.oolong.wellformed import check_well_formed
+from repro.prover.core import Limits
+from repro.vcgen.checker import check_scope
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="oolong-check",
+        description=(
+            "Statically check the side effects of oolong programs using "
+            "data groups (PLDI 2002 reproduction)."
+        ),
+    )
+    parser.add_argument("files", nargs="+", help="oolong source files")
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=30.0,
+        help="prover time budget per implementation, in seconds",
+    )
+    parser.add_argument(
+        "--max-instances",
+        type=int,
+        default=20000,
+        help="prover instantiation budget per implementation",
+    )
+    parser.add_argument(
+        "--no-restrictions",
+        action="store_true",
+        help="disable the pivot-uniqueness restriction pass (unsound; "
+        "for experiments only)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print prover statistics per implementation",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    source_parts: List[str] = []
+    for path in args.files:
+        try:
+            with open(path) as handle:
+                source_parts.append(handle.read())
+        except OSError as error:
+            print(f"error: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+    source = "\n".join(source_parts)
+    limits = Limits(
+        time_budget=args.time_budget, max_instances=args.max_instances
+    )
+    try:
+        scope = Scope.from_source(source)
+        check_well_formed(scope)
+        report = check_scope(
+            scope, limits, enforce_restrictions=not args.no_restrictions
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for violation in report.pivot_violations:
+        print(f"restriction violation: {violation}")
+    for verdict in report.verdicts:
+        line = verdict.describe()
+        if args.stats:
+            stats = verdict.stats
+            line += (
+                f"  [instances={stats.instantiations} branches={stats.branches}"
+                f" rounds={stats.rounds} time={stats.elapsed:.2f}s]"
+            )
+        print(line)
+    print("OK" if report.ok else "FAILED")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

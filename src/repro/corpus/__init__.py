@@ -1,0 +1,38 @@
+"""The program corpus: every example from the paper plus synthetic
+generators for scaling benchmarks."""
+
+from repro.corpus.programs import (
+    LINKED_LIST,
+    ONCE_TWICE,
+    PAPER_PROGRAMS,
+    RATIONAL,
+    SECTION3_CLIENT,
+    SECTION3_LEAKING_M,
+    SECTION3_OWNER_BAD_CALL,
+    SECTION3_W,
+    SECTION5_FIRST,
+    STACK_VECTOR,
+)
+from repro.corpus.generators import (
+    generate_call_chain,
+    generate_deep_groups,
+    generate_pivot_tower,
+    generate_wide_scope,
+)
+
+__all__ = [
+    "LINKED_LIST",
+    "ONCE_TWICE",
+    "PAPER_PROGRAMS",
+    "RATIONAL",
+    "SECTION3_CLIENT",
+    "SECTION3_LEAKING_M",
+    "SECTION3_OWNER_BAD_CALL",
+    "SECTION3_W",
+    "SECTION5_FIRST",
+    "STACK_VECTOR",
+    "generate_call_chain",
+    "generate_deep_groups",
+    "generate_pivot_tower",
+    "generate_wide_scope",
+]

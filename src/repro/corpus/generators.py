@@ -1,0 +1,83 @@
+"""Synthetic oolong program generators for scaling benchmarks.
+
+Each generator produces a self-contained, well-formed, verifiable source
+text whose size is controlled by a parameter, letting the SCALE experiment
+measure checker cost along different axes: declaration count, local
+inclusion depth, pivot-chain depth, and call-chain length.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def generate_wide_scope(fields: int) -> str:
+    """A scope with one group, many fields, and one verifiable impl.
+
+    Scales the *declaration count* (and therefore the size of BP_D).
+    """
+    lines: List[str] = ["group data"]
+    for index in range(fields):
+        lines.append(f"field f{index} in data")
+    lines.append("proc touch(t) modifies t.data")
+    body = " ;\n  ".join(f"t.f{i} := {i}" for i in range(fields)) or "skip"
+    lines.append("impl touch(t) {\n  assume t != null ;\n  " + body + "\n}")
+    return "\n".join(lines)
+
+
+def generate_deep_groups(depth: int) -> str:
+    """A linear tower of nested data groups g0 in g1 in ... in g<depth>.
+
+    Scales the *local inclusion depth* the prover's linc reasoning crosses:
+    the impl is licensed on the outermost group but writes the innermost
+    field.
+    """
+    lines: List[str] = [f"group g{depth}"]
+    for level in range(depth - 1, -1, -1):
+        lines.append(f"group g{level} in g{level + 1}")
+    lines.append("field leaf in g0")
+    lines.append(f"proc deepen(t) modifies t.g{depth}")
+    lines.append("impl deepen(t) {\n  assume t != null ;\n  t.leaf := 1\n}")
+    return "\n".join(lines)
+
+
+def generate_pivot_tower(depth: int) -> str:
+    """A chain of rep inclusions: g0 —p0→ g1 —p1→ ... —p(n-1)→ gn.
+
+    Scales the *pivot chain depth*: the impl holds a licence on the root
+    group and writes through the whole pivot chain, exercising the
+    inc-step axiom ``depth`` times.
+    """
+    lines: List[str] = []
+    for level in range(depth + 1):
+        lines.append(f"group g{level}")
+    for level in range(depth):
+        lines.append(f"field p{level} maps g{level + 1} into g{level}")
+    lines.append("field payload in g" + str(depth))
+    lines.append("proc drill(t) modifies t.g0")
+    path = "t" + "".join(f".p{level}" for level in range(depth))
+    guards = []
+    prefix = "t"
+    for level in range(depth):
+        prefix = f"{prefix}.p{level}"
+        guards.append(f"assume {prefix} != null")
+    body_lines = ["assume t != null"] + guards + [f"{path}.payload := 7"]
+    lines.append("impl drill(t) {\n  " + " ;\n  ".join(body_lines) + "\n}")
+    return "\n".join(lines)
+
+
+def generate_call_chain(length: int) -> str:
+    """A chain of procedures p0 -> p1 -> ... each with the same licence.
+
+    Scales the *number of call frames* the wlp threads through (one frame
+    quantifier per call).
+    """
+    lines: List[str] = ["group data", "field payload in data"]
+    for index in range(length + 1):
+        lines.append(f"proc p{index}(t) modifies t.data")
+    lines.append(
+        f"impl p{length}(t) {{ assume t != null ; t.payload := {length} }}"
+    )
+    for index in range(length - 1, -1, -1):
+        lines.append(f"impl p{index}(t) {{ p{index + 1}(t) }}")
+    return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""The paper's example programs, reconstructed as oolong sources.
+
+Every program in the paper appears here under a named constant, together
+with a few companions the experiments need (interface-only scopes, the
+private implementations that extend them, runtime drivers).
+"""
+
+#: Section 2's motivating interface: a rational-number library whose
+#: public `value` group hides the `num`/`den` representation.
+RATIONAL = """
+group value
+field num in value
+field den in value
+proc normalize(r) modifies r.value
+impl normalize(r) {
+  assume r != null ;
+  r.num := 1 ;
+  r.den := 1
+}
+"""
+
+#: Section 2's stack-over-vector sketch: `vec` is a pivot field and
+#: `push` touches the underlying vector through the rep inclusion.
+STACK_VECTOR = """
+group contents
+group elems
+field cnt in elems
+field data in elems
+field vec in contents maps elems into contents
+proc vec_add(v) modifies v.elems
+impl vec_add(v) {
+  assume v != null ;
+  v.cnt := v.cnt + 1 ;
+  v.data := 0
+}
+proc push(s, o) modifies s.contents
+impl push(s, o) {
+  assume s != null ;
+  ( assume s.vec = null ; s.vec := new()
+    []
+    assume s.vec != null ; skip ) ;
+  vec_add(s.vec)
+}
+proc new_stack(r) modifies r.contents
+impl new_stack(r) {
+  assume r != null ;
+  r.vec := new()
+}
+"""
+
+#: Section 3.0, client scope: the declaration of the pivot field `vec` is
+#: NOT in scope, so a modular checker must verify q's assert from the
+#: specifications of push and m alone — sound thanks to pivot uniqueness.
+SECTION3_CLIENT = """
+group contents
+field cnt
+field obj
+proc push(st, o) modifies st.contents
+proc m(st, r) modifies r.obj
+proc q()
+impl q() {
+  var st in var result in var v in var n in
+    st := new() ; result := new() ;
+    m(st, result) ;
+    v := result.obj ;
+    n := v.cnt ;
+    push(st, 3) ;
+    assert n = v.cnt
+  end end end end
+}
+"""
+
+#: Section 3.0, the private stack extension whose impl of m leaks the
+#: pivot value — rejected by the pivot uniqueness restriction.
+SECTION3_LEAKING_M = """
+field vec maps cnt into contents
+impl m(st, r) { r.obj := st.vec }
+"""
+
+#: A well-behaved extension of the client scope: m returns a fresh object,
+#: push modifies the stack through its pivot legally.
+SECTION3_HONEST_IMPLS = """
+field vec maps cnt into contents
+impl m(st, r) { r.obj := new() }
+impl push(st, o) {
+  assume st != null ;
+  ( assume st.vec = null ; st.vec := new()
+    []
+    assume st.vec != null ; skip ) ;
+  poke(st.vec)
+}
+proc poke(v) modifies v.cnt
+impl poke(v) { assume v != null ; v.cnt := v.cnt + 1 }
+"""
+
+#: A client like Section 3.0's q, but initializing the stack first so the
+#: leaked pivot value is non-null: the variant used for the *runtime*
+#: unsoundness demonstration. Verifies modularly in this scope.
+SECTION3_CLIENT_INIT = """
+group contents
+field cnt
+field obj
+proc init(st) modifies st.contents
+proc push(st, o) modifies st.contents
+proc m(st, r) modifies r.obj
+proc q2()
+impl q2() {
+  var st in var result in var v in var n in
+    st := new() ; result := new() ;
+    init(st) ;
+    m(st, result) ;
+    v := result.obj ;
+    n := v.cnt ;
+    push(st, 3) ;
+    assert n = v.cnt
+  end end end end
+}
+"""
+
+#: The private stack module for the runtime demonstration: a pivot-backed
+#: representation, an honest init and push — and the alias-leaking m of
+#: Section 3.0. The full checker rejects m syntactically; the naive
+#: baseline verifies every implementation here, yet running q2 makes its
+#: assert fail: modular soundness is lost without the restrictions.
+SECTION3_UNSOUND_IMPLS = """
+field vec in contents maps cnt into contents
+impl init(st) {
+  assume st != null ;
+  st.vec := new()
+}
+impl push(st, o) {
+  assume st != null ;
+  assume st.vec != null ;
+  st.vec.cnt := o + 0
+}
+impl m(st, r) {
+  assume r != null ;
+  r.obj := st.vec
+}
+"""
+
+#: Section 3.1: w's assert is verifiable modularly (owner exclusion holds
+#: on entry), but only because calls like w(st, st.vec) are rejected.
+SECTION3_W = """
+group contents
+field cnt
+field vec maps cnt into contents
+proc push(st, o) modifies st.contents
+proc w(st, v) modifies st.contents
+impl w(st, v) {
+  var n in
+    n := v.cnt ;
+    push(st, 3) ;
+    assert n = v.cnt
+  end
+}
+"""
+
+#: Section 3.1's forbidden call: passing the pivot value st.vec to a
+#: callee licensed to modify st.contents violates owner exclusion.
+SECTION3_OWNER_BAD_CALL = """
+proc bad(st) modifies st.contents
+impl bad(st) { assume st != null ; assume st.vec != null ; w(st, st.vec) }
+"""
+
+#: A runtime driver for the Section 3.1 scenario: builds a stack whose
+#: pivot points at a vector, then makes the forbidden call ``bad``. Every
+#: implementation in SECTION3_W + SECTION3_OWNER_BAD_CALL + this driver is
+#: accepted by the *naive* checker (which drops owner exclusion), yet
+#: running ``main`` makes w's assert fail: push updates the underlying
+#: vector through the rep inclusion, changing ``v.cnt`` under w's feet.
+SECTION3_OWNER_DRIVER = """
+impl push(st, o) {
+  assume st != null ;
+  assume st.vec != null ;
+  st.vec.cnt := o + 0
+}
+proc main()
+impl main() {
+  var st in
+    st := new() ;
+    st.vec := new() ;
+    bad(st)
+  end
+}
+"""
+
+#: Section 5, first example: data groups reached through a two-field path.
+SECTION5_FIRST = """
+field c
+field d
+field f
+group g
+proc p(t) modifies t.c.d.g
+proc q(u) modifies u.g
+impl p(t) {
+  assume t != null ;
+  var y in
+    y := t.f ;
+    q(t.c.d) ;
+    assert y = t.f
+  end
+}
+"""
+
+#: Section 5, second example: Leino-Nelson's swinging-pivots motivator;
+#: pivot uniqueness subsumes the swinging pivots restriction.
+ONCE_TWICE = """
+group g
+proc once(t) modifies t.g
+proc twice(t) modifies t.g
+impl twice(t) { once(t) ; once(t) }
+"""
+
+#: Section 5, third example: linked lists with the cyclic rep inclusion
+#: g —next→ g. The paper's Simplify-based checker diverged on this one.
+LINKED_LIST = """
+group g
+field value in g
+field next maps g into g
+proc updateAll(t) modifies t.g
+impl updateAll(t) {
+  assume t != null ;
+  t.value := t.value + 1 ;
+  ( assume t.next = null
+    []
+    assume t.next != null ; updateAll(t.next) )
+}
+"""
+
+#: Every verifiable program of the paper, keyed by experiment id.
+PAPER_PROGRAMS = {
+    "RATIONAL": RATIONAL,
+    "STACK_VECTOR": STACK_VECTOR,
+    "EX-3.0-client": SECTION3_CLIENT,
+    "EX-3.1-w": SECTION3_W,
+    "EX-5.1": SECTION5_FIRST,
+    "EX-5.2": ONCE_TWICE,
+    "EX-5.3": LINKED_LIST,
+}

@@ -1,0 +1,77 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+All user-facing failures derive from :class:`ReproError` so callers can
+catch one type. Each subsystem raises the most specific subclass and attaches
+a source position when one is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SourcePosition:
+    """A 1-based line/column position in an oolong source text."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+    def __init__(self, message: str, position: Optional[SourcePosition] = None):
+        self.message = message
+        self.position = position
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        if self.position is not None:
+            return f"{self.position}: {self.message}"
+        return self.message
+
+
+class LexError(ReproError):
+    """Raised by the lexer on malformed input characters or literals."""
+
+
+class ParseError(ReproError):
+    """Raised by the parser on grammar violations."""
+
+
+class WellFormednessError(ReproError):
+    """Raised when a scope violates oolong's static well-formedness rules.
+
+    Covers duplicate names, undeclared references (the rule of
+    self-contained names), cyclic group inclusions, and malformed modifies
+    lists.
+    """
+
+
+class RestrictionError(ReproError):
+    """Raised when a program violates the pivot uniqueness restriction."""
+
+
+class VerificationError(ReproError):
+    """Raised when verification-condition generation itself fails.
+
+    (A VC that is merely *invalid* is reported as a verdict, not raised.)
+    """
+
+
+class InterpError(ReproError):
+    """Raised by the interpreter on dynamic errors other than going wrong.
+
+    "Going wrong" (a failed ``assert`` or a modifies violation) is reported
+    as an outcome; this exception covers genuine misuse such as calling an
+    undeclared procedure.
+    """
+
+
+class ProverError(ReproError):
+    """Raised on internal prover failures (never on mere non-proofs)."""

@@ -1,0 +1,69 @@
+"""First-order logic infrastructure shared by the VC generator and prover.
+
+Terms and formulas are immutable trees (:mod:`repro.logic.terms`), with
+substitution and free-variable computation (:mod:`repro.logic.subst`),
+negation-normal-form and skolemization transforms (:mod:`repro.logic.nnf`),
+and a printer producing a stable S-expression-like syntax used by golden
+tests (:mod:`repro.logic.printer`).
+"""
+
+from repro.logic.nnf import FreshNames, negate, skolemize, to_nnf
+from repro.logic.printer import format_formula, format_term
+from repro.logic.subst import formula_free_vars, subst_formula, subst_term, term_free_vars
+from repro.logic.terms import (
+    And,
+    App,
+    Const,
+    Eq,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    IntLit,
+    Not,
+    Or,
+    Pred,
+    Term,
+    TrueF,
+    Var,
+    conj,
+    disj,
+    distinct_pairs,
+    neq,
+)
+
+__all__ = [
+    "And",
+    "App",
+    "Const",
+    "Eq",
+    "Exists",
+    "FalseF",
+    "Forall",
+    "Formula",
+    "FreshNames",
+    "Iff",
+    "Implies",
+    "IntLit",
+    "Not",
+    "Or",
+    "Pred",
+    "Term",
+    "TrueF",
+    "Var",
+    "conj",
+    "disj",
+    "distinct_pairs",
+    "format_formula",
+    "format_term",
+    "formula_free_vars",
+    "negate",
+    "neq",
+    "skolemize",
+    "subst_formula",
+    "subst_term",
+    "term_free_vars",
+    "to_nnf",
+]

@@ -1,0 +1,89 @@
+"""A stable, compact text format for terms and formulas.
+
+The format is S-expression-flavoured and deterministic; the golden tests on
+wlp output compare against it. It is intended for debugging and tests, not
+for re-parsing.
+"""
+
+from __future__ import annotations
+
+from repro.logic.terms import (
+    And,
+    App,
+    Const,
+    Eq,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    IntLit,
+    Not,
+    Or,
+    Pred,
+    Term,
+    TrueF,
+    Var,
+)
+
+
+def format_term(term: Term) -> str:
+    if isinstance(term, Var):
+        return f"?{term.name}"
+    if isinstance(term, Const):
+        return term.name
+    if isinstance(term, IntLit):
+        return str(term.value)
+    if isinstance(term, App):
+        inner = " ".join(format_term(a) for a in term.args)
+        return f"({term.fn} {inner})"
+    raise TypeError(f"not a term: {term!r}")
+
+
+def format_formula(formula: Formula, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(formula, TrueF):
+        return f"{pad}true"
+    if isinstance(formula, FalseF):
+        return f"{pad}false"
+    if isinstance(formula, Eq):
+        return f"{pad}(= {format_term(formula.left)} {format_term(formula.right)})"
+    if isinstance(formula, Pred):
+        inner = " ".join(format_term(a) for a in formula.args)
+        return f"{pad}({formula.name} {inner})"
+    if isinstance(formula, Not):
+        return f"{pad}(not\n{format_formula(formula.body, indent + 1)})"
+    if isinstance(formula, And):
+        inner = "\n".join(format_formula(c, indent + 1) for c in formula.conjuncts)
+        return f"{pad}(and\n{inner})"
+    if isinstance(formula, Or):
+        inner = "\n".join(format_formula(d, indent + 1) for d in formula.disjuncts)
+        return f"{pad}(or\n{inner})"
+    if isinstance(formula, Implies):
+        return (
+            f"{pad}(=>\n{format_formula(formula.antecedent, indent + 1)}\n"
+            f"{format_formula(formula.consequent, indent + 1)})"
+        )
+    if isinstance(formula, Iff):
+        return (
+            f"{pad}(<=>\n{format_formula(formula.left, indent + 1)}\n"
+            f"{format_formula(formula.right, indent + 1)})"
+        )
+    if isinstance(formula, Forall):
+        vars_text = " ".join(formula.vars)
+        triggers = ""
+        if formula.triggers:
+            rendered = " ".join(
+                "{" + " ".join(format_term(p) for p in multi) + "}"
+                for multi in formula.triggers
+            )
+            triggers = f" :pattern {rendered}"
+        return (
+            f"{pad}(forall ({vars_text}){triggers}\n"
+            f"{format_formula(formula.body, indent + 1)})"
+        )
+    if isinstance(formula, Exists):
+        vars_text = " ".join(formula.vars)
+        return f"{pad}(exists ({vars_text})\n{format_formula(formula.body, indent + 1)})"
+    raise TypeError(f"not a formula: {formula!r}")

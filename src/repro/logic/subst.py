@@ -1,0 +1,178 @@
+"""Substitution and free-variable computation for terms and formulas.
+
+Substitution is capture-avoiding: bound variables that clash with the
+substitution's keys shadow them (the key is dropped inside the binder), and
+bound variables that would capture a variable free in a substituted value
+are renamed apart.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.logic.terms import (
+    And,
+    App,
+    Const,
+    Eq,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    IntLit,
+    Not,
+    Or,
+    Pred,
+    Term,
+    TrueF,
+    Var,
+)
+
+
+def term_free_vars(term: Term) -> FrozenSet[str]:
+    """All variable names occurring in ``term``."""
+    if isinstance(term, Var):
+        return frozenset((term.name,))
+    if isinstance(term, (Const, IntLit)):
+        return frozenset()
+    if isinstance(term, App):
+        result: Set[str] = set()
+        for arg in term.args:
+            result |= term_free_vars(arg)
+        return frozenset(result)
+    raise TypeError(f"not a term: {term!r}")
+
+
+def formula_free_vars(formula: Formula) -> FrozenSet[str]:
+    """All variable names occurring free in ``formula``."""
+    if isinstance(formula, (TrueF, FalseF)):
+        return frozenset()
+    if isinstance(formula, Eq):
+        return term_free_vars(formula.left) | term_free_vars(formula.right)
+    if isinstance(formula, Pred):
+        result: Set[str] = set()
+        for arg in formula.args:
+            result |= term_free_vars(arg)
+        return frozenset(result)
+    if isinstance(formula, Not):
+        return formula_free_vars(formula.body)
+    if isinstance(formula, And):
+        result = set()
+        for conjunct in formula.conjuncts:
+            result |= formula_free_vars(conjunct)
+        return frozenset(result)
+    if isinstance(formula, Or):
+        result = set()
+        for disjunct in formula.disjuncts:
+            result |= formula_free_vars(disjunct)
+        return frozenset(result)
+    if isinstance(formula, Implies):
+        return formula_free_vars(formula.antecedent) | formula_free_vars(
+            formula.consequent
+        )
+    if isinstance(formula, Iff):
+        return formula_free_vars(formula.left) | formula_free_vars(formula.right)
+    if isinstance(formula, (Forall, Exists)):
+        return formula_free_vars(formula.body) - set(formula.vars)
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def subst_term(term: Term, mapping: Dict[str, Term]) -> Term:
+    """Replace free variables of ``term`` according to ``mapping``."""
+    if isinstance(term, Var):
+        return mapping.get(term.name, term)
+    if isinstance(term, (Const, IntLit)):
+        return term
+    if isinstance(term, App):
+        return App(term.fn, tuple(subst_term(a, mapping) for a in term.args))
+    raise TypeError(f"not a term: {term!r}")
+
+
+def _fresh_name(base: str, taken: Set[str]) -> str:
+    for index in itertools.count(1):
+        candidate = f"{base}~{index}"
+        if candidate not in taken:
+            return candidate
+    raise AssertionError("unreachable")
+
+
+def _subst_binder(
+    formula, mapping: Dict[str, Term]
+) -> Tuple[Tuple[str, ...], Dict[str, Term], Dict[str, Term]]:
+    """Common capture-avoiding handling for Forall/Exists.
+
+    Returns the (possibly renamed) bound variables, the renaming to apply to
+    the binder's body and triggers, and the surviving outer substitution.
+    """
+    inner = {k: v for k, v in mapping.items() if k not in formula.vars}
+    if not inner:
+        return formula.vars, {}, inner
+    value_vars: Set[str] = set()
+    for value in inner.values():
+        value_vars |= term_free_vars(value)
+    new_vars = []
+    renaming: Dict[str, Term] = {}
+    taken = value_vars | set(formula.vars) | set(inner)
+    for var in formula.vars:
+        if var in value_vars:
+            fresh = _fresh_name(var, taken)
+            taken.add(fresh)
+            renaming[var] = Var(fresh)
+            new_vars.append(fresh)
+        else:
+            new_vars.append(var)
+    return tuple(new_vars), renaming, inner
+
+
+def subst_formula(formula: Formula, mapping: Dict[str, Term]) -> Formula:
+    """Capture-avoiding substitution of free variables in ``formula``."""
+    if not mapping:
+        return formula
+    if isinstance(formula, (TrueF, FalseF)):
+        return formula
+    if isinstance(formula, Eq):
+        return Eq(subst_term(formula.left, mapping), subst_term(formula.right, mapping))
+    if isinstance(formula, Pred):
+        return Pred(formula.name, tuple(subst_term(a, mapping) for a in formula.args))
+    if isinstance(formula, Not):
+        return Not(subst_formula(formula.body, mapping))
+    if isinstance(formula, And):
+        return And(tuple(subst_formula(c, mapping) for c in formula.conjuncts))
+    if isinstance(formula, Or):
+        return Or(tuple(subst_formula(d, mapping) for d in formula.disjuncts))
+    if isinstance(formula, Implies):
+        return Implies(
+            subst_formula(formula.antecedent, mapping),
+            subst_formula(formula.consequent, mapping),
+        )
+    if isinstance(formula, Iff):
+        return Iff(
+            subst_formula(formula.left, mapping),
+            subst_formula(formula.right, mapping),
+        )
+    if isinstance(formula, Forall):
+        new_vars, renaming, inner = _subst_binder(formula, mapping)
+        body = subst_formula(formula.body, renaming) if renaming else formula.body
+        triggers = formula.triggers
+        if renaming or inner:
+            combined = dict(renaming)
+            combined.update(inner)
+            triggers = tuple(
+                tuple(subst_term(p, combined) for p in multi)
+                for multi in formula.triggers
+            )
+        return Forall(
+            new_vars,
+            subst_formula(body, inner),
+            triggers,
+            formula.name,
+            formula.width_cap,
+        )
+    if isinstance(formula, Exists):
+        new_vars, renaming, inner = _subst_binder(formula, mapping)
+        body = subst_formula(formula.body, renaming) if renaming else formula.body
+        return Exists(new_vars, subst_formula(body, inner))
+    raise TypeError(f"not a formula: {formula!r}")

@@ -1,0 +1,27 @@
+"""Modular soundness: the scope-monotonicity experiment harness.
+
+The paper's central meta-claim: with the formalization of Section 4,
+verification is *scope monotone* — if an implementation's VC is valid in a
+scope D, it stays valid in every extension E of D, because extensions only
+add background axioms (BP_D ⊆ BP_E) while the wlp side is extension
+insensitive.
+
+:mod:`repro.modular.monotonicity` checks this empirically, and also runs
+the *naive* baseline (which ignores the restrictions) to exhibit the
+monotonicity violations of Sections 3.0 and 3.1.
+"""
+
+from repro.modular.modules import Module, ModuleSystem
+from repro.modular.monotonicity import (
+    MonotonicityReport,
+    MonotonicityResult,
+    check_monotonicity,
+)
+
+__all__ = [
+    "Module",
+    "ModuleSystem",
+    "MonotonicityReport",
+    "MonotonicityResult",
+    "check_monotonicity",
+]

@@ -1,0 +1,144 @@
+"""A hand-written lexer for oolong.
+
+The lexer is a single forward pass with one character of lookahead for the
+two-character operators. Comments run from ``//`` to end of line; block
+comments are ``/* ... */`` and may span lines (but do not nest).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import LexError, SourcePosition
+from repro.oolong.tokens import KEYWORDS, Token, TokenKind
+
+# Two-character operators must be tried before their one-character prefixes.
+_TWO_CHAR = {
+    ":=": TokenKind.ASSIGN,
+    "[]": TokenKind.BOX,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "&&": TokenKind.AND,
+    "||": TokenKind.OR,
+}
+
+_ONE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    ".": TokenKind.DOT,
+    "=": TokenKind.EQ,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "!": TokenKind.NOT,
+}
+
+
+class Lexer:
+    """Tokenizes one oolong source text."""
+
+    def __init__(self, source: str):
+        self._source = source
+        self._index = 0
+        self._line = 1
+        self._column = 1
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield every token in the source, ending with a single EOF token."""
+        while True:
+            self._skip_trivia()
+            if self._at_end():
+                yield Token(TokenKind.EOF, "", self._position())
+                return
+            yield self._next_token()
+
+    # -- scanning helpers -------------------------------------------------
+
+    def _position(self) -> SourcePosition:
+        return SourcePosition(self._line, self._column)
+
+    def _at_end(self) -> bool:
+        return self._index >= len(self._source)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._index + offset
+        if index >= len(self._source):
+            return ""
+        return self._source[index]
+
+    def _advance(self) -> str:
+        char = self._source[self._index]
+        self._index += 1
+        if char == "\n":
+            self._line += 1
+            self._column = 1
+        else:
+            self._column += 1
+        return char
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments; raise on an unterminated block."""
+        while not self._at_end():
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while not self._at_end() and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                start = self._position()
+                self._advance()
+                self._advance()
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self._at_end():
+                        raise LexError("unterminated block comment", start)
+                    self._advance()
+                self._advance()
+                self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        position = self._position()
+        char = self._peek()
+        if char.isalpha() or char == "_":
+            return self._lex_word(position)
+        if char.isdigit():
+            return self._lex_number(position)
+        pair = char + self._peek(1)
+        if pair in _TWO_CHAR:
+            self._advance()
+            self._advance()
+            return Token(_TWO_CHAR[pair], pair, position)
+        if char in _ONE_CHAR:
+            self._advance()
+            return Token(_ONE_CHAR[char], char, position)
+        raise LexError(f"unexpected character {char!r}", position)
+
+    def _lex_word(self, position: SourcePosition) -> Token:
+        chars: List[str] = []
+        while not self._at_end() and (self._peek().isalnum() or self._peek() == "_"):
+            chars.append(self._advance())
+        word = "".join(chars)
+        kind = KEYWORDS.get(word, TokenKind.IDENT)
+        return Token(kind, word, position)
+
+    def _lex_number(self, position: SourcePosition) -> Token:
+        chars: List[str] = []
+        while not self._at_end() and self._peek().isdigit():
+            chars.append(self._advance())
+        if not self._at_end() and (self._peek().isalpha() or self._peek() == "_"):
+            raise LexError("identifier may not start with a digit", position)
+        return Token(TokenKind.INT, "".join(chars), position)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` into a list ending with an EOF token."""
+    return list(Lexer(source).tokens())

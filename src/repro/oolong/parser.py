@@ -1,0 +1,418 @@
+"""A recursive-descent parser for oolong.
+
+Grammar (Figures 0 and 1 of the paper, plus ``if``/``skip`` sugar)::
+
+    Program   ::= Decl*
+    Decl      ::= 'group' Id ['in' IdList]
+                | 'field' Id ['in' IdList] ('maps' Id 'into' IdList)*
+                | 'proc' Id '(' [IdList] ')' ['modifies' DesigList]
+                | 'impl' Id '(' [IdList] ')' '{' Cmd '}'
+    Desig     ::= Id ('.' Id)+
+
+    Cmd       ::= CmdSeq ('[]' CmdSeq)*
+    CmdSeq    ::= CmdAtom (';' CmdAtom)*
+    CmdAtom   ::= 'assert' Expr | 'assume' Expr
+                | 'var' Id 'in' Cmd 'end'
+                | 'skip'
+                | 'if' Expr 'then' Cmd 'else' Cmd 'end'
+                | '(' Cmd ')'
+                | Id '(' [ExprList] ')'
+                | Expr ':=' ('new' '(' ')' | Expr)
+
+    Expr      ::= Or
+    Or        ::= And ('||' And)*
+    And       ::= Cmp ('&&' Cmp)*
+    Cmp       ::= Add (('='|'!='|'<'|'<='|'>'|'>=') Add)?
+    Add       ::= Mul (('+'|'-') Mul)*
+    Mul       ::= Unary ('*' Unary)*
+    Unary     ::= ('!'|'-') Unary | Postfix
+    Postfix   ::= Primary ('.' Id)*
+    Primary   ::= 'null' | 'true' | 'false' | Int | Id | '(' Expr ')'
+
+The ``if`` form is desugared exactly as the paper prescribes::
+
+    if B then C else D end  =  (assume !B ; D) [] (assume B ; C)
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ParseError
+from repro.oolong.ast import (
+    Assert,
+    Assign,
+    AssignNew,
+    Assume,
+    BinOp,
+    BoolConst,
+    Call,
+    Choice,
+    Cmd,
+    Decl,
+    Designator,
+    Expr,
+    FieldAccess,
+    FieldDecl,
+    GroupDecl,
+    Id,
+    ImplDecl,
+    IntConst,
+    MapsClause,
+    NullConst,
+    ProcDecl,
+    Seq,
+    Skip,
+    UnOp,
+    VarCmd,
+)
+from repro.oolong.lexer import tokenize
+from repro.oolong.tokens import Token, TokenKind
+
+_COMPARISONS = {
+    TokenKind.EQ: "=",
+    TokenKind.NE: "!=",
+    TokenKind.LT: "<",
+    TokenKind.LE: "<=",
+    TokenKind.GT: ">",
+    TokenKind.GE: ">=",
+}
+
+
+class Parser:
+    """Parses a pre-tokenized oolong source."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _check(self, kind: TokenKind) -> bool:
+        return self._peek().kind is kind
+
+    def _match(self, kind: TokenKind) -> bool:
+        if self._check(kind):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, kind: TokenKind, context: str) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise ParseError(
+                f"expected {kind.value!r} {context}, found {token.kind.value!r}",
+                token.position,
+            )
+        return self._advance()
+
+    def _ident(self, context: str) -> str:
+        return self._expect(TokenKind.IDENT, context).value
+
+    def _ident_list(self, context: str) -> Tuple[str, ...]:
+        names = [self._ident(context)]
+        while self._match(TokenKind.COMMA):
+            names.append(self._ident(context))
+        return tuple(names)
+
+    # -- declarations ------------------------------------------------------
+
+    def parse_program(self) -> Tuple[Decl, ...]:
+        """Parse a whole program: a sequence of declarations up to EOF."""
+        decls: List[Decl] = []
+        while not self._check(TokenKind.EOF):
+            decls.append(self.parse_decl())
+        return tuple(decls)
+
+    def parse_decl(self) -> Decl:
+        token = self._peek()
+        if token.kind is TokenKind.GROUP:
+            return self._parse_group()
+        if token.kind is TokenKind.FIELD:
+            return self._parse_field()
+        if token.kind is TokenKind.PROC:
+            return self._parse_proc()
+        if token.kind is TokenKind.IMPL:
+            return self._parse_impl()
+        raise ParseError(
+            f"expected a declaration, found {token.kind.value!r}", token.position
+        )
+
+    def _parse_group(self) -> GroupDecl:
+        position = self._advance().position
+        name = self._ident("after 'group'")
+        in_groups: Tuple[str, ...] = ()
+        if self._match(TokenKind.IN):
+            in_groups = self._ident_list("in 'in' clause")
+        return GroupDecl(name, in_groups, position)
+
+    def _parse_field(self) -> FieldDecl:
+        position = self._advance().position
+        name = self._ident("after 'field'")
+        in_groups: Tuple[str, ...] = ()
+        if self._match(TokenKind.IN):
+            in_groups = self._ident_list("in 'in' clause")
+        maps: List[MapsClause] = []
+        while self._match(TokenKind.MAPS):
+            mapped = self._ident("after 'maps'")
+            self._expect(TokenKind.INTO, "in maps clause")
+            into = self._ident_list("in 'into' clause")
+            maps.append(MapsClause(mapped, into))
+        return FieldDecl(name, in_groups, tuple(maps), position)
+
+    def _parse_params(self) -> Tuple[str, ...]:
+        self._expect(TokenKind.LPAREN, "before parameter list")
+        params: Tuple[str, ...] = ()
+        if not self._check(TokenKind.RPAREN):
+            params = self._ident_list("in parameter list")
+        self._expect(TokenKind.RPAREN, "after parameter list")
+        return params
+
+    def _parse_proc(self) -> ProcDecl:
+        position = self._advance().position
+        name = self._ident("after 'proc'")
+        params = self._parse_params()
+        modifies: List[Designator] = []
+        requires: List[Expr] = []
+        ensures: List[Expr] = []
+        while True:
+            if self._match(TokenKind.MODIFIES):
+                modifies.append(self._parse_designator())
+                while self._match(TokenKind.COMMA):
+                    modifies.append(self._parse_designator())
+            elif self._match(TokenKind.REQUIRES):
+                requires.append(self.parse_expr())
+            elif self._match(TokenKind.ENSURES):
+                ensures.append(self.parse_expr())
+            else:
+                break
+        return ProcDecl(
+            name, params, tuple(modifies), tuple(requires), tuple(ensures), position
+        )
+
+    def _parse_designator(self) -> Designator:
+        root = self._ident("at start of modifies designator")
+        selectors: List[str] = []
+        self._expect(TokenKind.DOT, "in modifies designator")
+        selectors.append(self._ident("after '.'"))
+        while self._match(TokenKind.DOT):
+            selectors.append(self._ident("after '.'"))
+        return Designator(root, tuple(selectors[:-1]), selectors[-1])
+
+    def _parse_impl(self) -> ImplDecl:
+        position = self._advance().position
+        name = self._ident("after 'impl'")
+        params = self._parse_params()
+        self._expect(TokenKind.LBRACE, "before implementation body")
+        body = self.parse_cmd()
+        self._expect(TokenKind.RBRACE, "after implementation body")
+        return ImplDecl(name, params, body, position)
+
+    # -- commands ----------------------------------------------------------
+
+    def parse_cmd(self) -> Cmd:
+        """Parse a command; ``[]`` binds loosest, then ``;``."""
+        cmd = self._parse_seq()
+        while self._match(TokenKind.BOX):
+            cmd = Choice(cmd, self._parse_seq())
+        return cmd
+
+    def _parse_seq(self) -> Cmd:
+        cmd = self._parse_atom_cmd()
+        while self._match(TokenKind.SEMI):
+            cmd = Seq(cmd, self._parse_atom_cmd())
+        return cmd
+
+    def _parse_atom_cmd(self) -> Cmd:
+        token = self._peek()
+        if token.kind is TokenKind.ASSERT:
+            self._advance()
+            return Assert(self.parse_expr(), token.position)
+        if token.kind is TokenKind.ASSUME:
+            self._advance()
+            return Assume(self.parse_expr(), token.position)
+        if token.kind is TokenKind.VAR:
+            self._advance()
+            name = self._ident("after 'var'")
+            self._expect(TokenKind.IN, "after local variable name")
+            body = self.parse_cmd()
+            self._expect(TokenKind.END, "after 'var' body")
+            return VarCmd(name, body, token.position)
+        if token.kind is TokenKind.SKIP:
+            self._advance()
+            return Skip()
+        if token.kind is TokenKind.IF:
+            return self._parse_if(token)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            cmd = self.parse_cmd()
+            self._expect(TokenKind.RPAREN, "after parenthesized command")
+            return cmd
+        if token.kind is TokenKind.IDENT and self._peek(1).kind is TokenKind.LPAREN:
+            return self._parse_call(token)
+        return self._parse_assignment(token)
+
+    def _parse_if(self, token: Token) -> Cmd:
+        """Desugar ``if B then C else D end`` per the paper's encoding."""
+        self._advance()
+        condition = self.parse_expr()
+        self._expect(TokenKind.THEN, "in if command")
+        then_cmd = self.parse_cmd()
+        self._expect(TokenKind.ELSE, "in if command")
+        else_cmd = self.parse_cmd()
+        self._expect(TokenKind.END, "after if command")
+        negated = UnOp("!", condition)
+        return Choice(
+            Seq(Assume(negated, token.position), else_cmd),
+            Seq(Assume(condition, token.position), then_cmd),
+        )
+
+    def _parse_call(self, token: Token) -> Cmd:
+        proc = self._ident("at call")
+        self._expect(TokenKind.LPAREN, "after procedure name")
+        args: List[Expr] = []
+        if not self._check(TokenKind.RPAREN):
+            args.append(self.parse_expr())
+            while self._match(TokenKind.COMMA):
+                args.append(self.parse_expr())
+        self._expect(TokenKind.RPAREN, "after call arguments")
+        return Call(proc, tuple(args), token.position)
+
+    def _parse_assignment(self, token: Token) -> Cmd:
+        target = self.parse_expr()
+        if not isinstance(target, (Id, FieldAccess)):
+            raise ParseError(
+                "assignment target must be a variable or a field designator",
+                token.position,
+            )
+        self._expect(TokenKind.ASSIGN, "in assignment")
+        if self._check(TokenKind.NEW):
+            self._advance()
+            self._expect(TokenKind.LPAREN, "after 'new'")
+            self._expect(TokenKind.RPAREN, "after 'new('")
+            return AssignNew(target, token.position)
+        rhs = self.parse_expr()
+        return Assign(target, rhs, token.position)
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        expr = self._parse_and()
+        while self._match(TokenKind.OR):
+            expr = BinOp("||", expr, self._parse_and())
+        return expr
+
+    def _parse_and(self) -> Expr:
+        expr = self._parse_cmp()
+        while self._match(TokenKind.AND):
+            expr = BinOp("&&", expr, self._parse_cmp())
+        return expr
+
+    def _parse_cmp(self) -> Expr:
+        expr = self._parse_add()
+        kind = self._peek().kind
+        if kind in _COMPARISONS:
+            self._advance()
+            expr = BinOp(_COMPARISONS[kind], expr, self._parse_add())
+        return expr
+
+    def _parse_add(self) -> Expr:
+        expr = self._parse_mul()
+        while True:
+            if self._match(TokenKind.PLUS):
+                expr = BinOp("+", expr, self._parse_mul())
+            elif self._match(TokenKind.MINUS):
+                expr = BinOp("-", expr, self._parse_mul())
+            else:
+                return expr
+
+    def _parse_mul(self) -> Expr:
+        expr = self._parse_unary()
+        while self._match(TokenKind.STAR):
+            expr = BinOp("*", expr, self._parse_unary())
+        return expr
+
+    def _parse_unary(self) -> Expr:
+        if self._match(TokenKind.NOT):
+            return UnOp("!", self._parse_unary())
+        if self._match(TokenKind.MINUS):
+            return UnOp("-", self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while self._check(TokenKind.DOT):
+            dot = self._advance()
+            attr = self._ident("after '.'")
+            expr = FieldAccess(expr, attr, dot.position)
+        return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokenKind.NULL:
+            self._advance()
+            return NullConst()
+        if token.kind is TokenKind.TRUE:
+            self._advance()
+            return BoolConst(True)
+        if token.kind is TokenKind.FALSE:
+            self._advance()
+            return BoolConst(False)
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return IntConst(int(token.value))
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return Id(token.value, token.position)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self.parse_expr()
+            self._expect(TokenKind.RPAREN, "after parenthesized expression")
+            return expr
+        raise ParseError(
+            f"expected an expression, found {token.kind.value!r}", token.position
+        )
+
+    def expect_eof(self) -> None:
+        token = self._peek()
+        if token.kind is not TokenKind.EOF:
+            raise ParseError(
+                f"unexpected trailing input: {token.kind.value!r}", token.position
+            )
+
+
+def parse_program_text(source: str) -> Tuple[Decl, ...]:
+    """Parse an oolong program source text into a declaration tuple."""
+    parser = Parser(tokenize(source))
+    decls = parser.parse_program()
+    parser.expect_eof()
+    return decls
+
+
+def parse_command(source: str) -> Cmd:
+    """Parse a single command (used by tests and the builder DSL)."""
+    parser = Parser(tokenize(source))
+    cmd = parser.parse_cmd()
+    parser.expect_eof()
+    return cmd
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a single expression."""
+    parser = Parser(tokenize(source))
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr

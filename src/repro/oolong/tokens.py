@@ -1,0 +1,115 @@
+"""Token kinds and the token record produced by the oolong lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SourcePosition
+
+
+class TokenKind(enum.Enum):
+    """Every lexical class in oolong's concrete syntax."""
+
+    # Literals and names.
+    IDENT = "identifier"
+    INT = "integer"
+
+    # Declaration keywords (Figure 0).
+    GROUP = "group"
+    FIELD = "field"
+    PROC = "proc"
+    IMPL = "impl"
+    IN = "in"
+    MAPS = "maps"
+    INTO = "into"
+    MODIFIES = "modifies"
+    REQUIRES = "requires"
+    ENSURES = "ensures"
+
+    # Command keywords (Figure 1 plus sugar).
+    ASSERT = "assert"
+    ASSUME = "assume"
+    VAR = "var"
+    END = "end"
+    NEW = "new"
+    IF = "if"
+    THEN = "then"
+    ELSE = "else"
+    SKIP = "skip"
+
+    # Constants.
+    NULL = "null"
+    TRUE = "true"
+    FALSE = "false"
+
+    # Punctuation.
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    COMMA = ","
+    SEMI = ";"
+    DOT = "."
+    ASSIGN = ":="
+    BOX = "[]"
+
+    # Operators.
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    AND = "&&"
+    OR = "||"
+    NOT = "!"
+
+    EOF = "end of input"
+
+
+#: Reserved words, mapped to their token kinds.
+KEYWORDS = {
+    "group": TokenKind.GROUP,
+    "field": TokenKind.FIELD,
+    "proc": TokenKind.PROC,
+    "impl": TokenKind.IMPL,
+    "in": TokenKind.IN,
+    "maps": TokenKind.MAPS,
+    "into": TokenKind.INTO,
+    "modifies": TokenKind.MODIFIES,
+    "requires": TokenKind.REQUIRES,
+    "ensures": TokenKind.ENSURES,
+    "assert": TokenKind.ASSERT,
+    "assume": TokenKind.ASSUME,
+    "var": TokenKind.VAR,
+    "end": TokenKind.END,
+    "new": TokenKind.NEW,
+    "if": TokenKind.IF,
+    "then": TokenKind.THEN,
+    "else": TokenKind.ELSE,
+    "skip": TokenKind.SKIP,
+    "null": TokenKind.NULL,
+    "true": TokenKind.TRUE,
+    "false": TokenKind.FALSE,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its source position.
+
+    ``value`` carries the identifier text for :attr:`TokenKind.IDENT` and the
+    numeral text for :attr:`TokenKind.INT`; for all other kinds it repeats
+    the fixed lexeme.
+    """
+
+    kind: TokenKind
+    value: str
+    position: SourcePosition
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.value!r})@{self.position}"

@@ -1,0 +1,626 @@
+"""The refutation engine: case splitting + quantifier instantiation.
+
+``Solver`` accepts closed formulas (hypotheses) and decides satisfiability
+of their conjunction, under explicit resource limits. ``prove_valid``
+wraps the refutation style used for verification conditions: assert the
+axioms and hypotheses, assert the *ordered negation* of the goal, and read
+``UNSAT`` as "the VC is valid".
+
+Search strategy (Simplify-flavoured):
+
+1. Assert unit facts into the E-graph; park disjunctions and quantifiers.
+2. Repeatedly simplify disjunctions against the E-graph (drop satisfied
+   ones, prune refuted disjuncts, unit-propagate single survivors).
+3. When splits remain, branch on the smallest disjunction (backtracking the
+   E-graph via its trail).
+4. At a split-free leaf, run an E-matching round over the quantifier pool;
+   new instances are asserted and the loop continues. Saturation without
+   conflict yields ``SAT`` (the goal is not provable); exceeding the
+   instance/time budget yields ``RESOURCE_OUT`` — the analogue of the
+   matching-loop divergence the paper reports for cyclic rep inclusions.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.logic.nnf import FreshNames, negate, skolemize, to_nnf
+from repro.logic.subst import formula_free_vars, subst_formula
+from repro.logic.terms import (
+    And,
+    App,
+    Eq,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Pred,
+    Term,
+    TrueF,
+)
+from repro.prover.egraph import EGraph
+from repro.prover.matching import match_multipattern
+from repro.prover.triggers import infer_triggers
+
+
+class Verdict(enum.Enum):
+    """Outcome of a satisfiability check."""
+
+    UNSAT = "unsat"
+    SAT = "sat"
+    RESOURCE_OUT = "resource-out"
+
+
+@dataclass
+class Limits:
+    """Resource bounds for one ``check`` call."""
+
+    max_instances: int = 20000
+    max_rounds: int = 40
+    max_depth: int = 400
+    max_branches: int = 200000
+    max_matches_per_round: int = 5000
+    time_budget: Optional[float] = 30.0
+    #: Relevancy filter: a candidate instance is asserted only while its
+    #: number of not-yet-refuted top-level disjuncts (its *width*) is at
+    #: most this. Width 0 is a conflict, width 1 unit-propagates, width 2
+    #: is a narrow case split. Wider instances are reconsidered on later
+    #: rounds once more of their disjuncts are refuted.
+    max_instance_width: int = 1
+    #: When a round adds nothing at ``max_instance_width``, one extra pass
+    #: admits instances up to ``max_instance_width + escalation_bonus``
+    #: before the branch is declared saturated. 0 disables escalation.
+    escalation_bonus: int = 2
+
+
+@dataclass
+class ProverStats:
+    """Counters accumulated during a check."""
+
+    instantiations: int = 0
+    rounds: int = 0
+    branches: int = 0
+    conflicts: int = 0
+    max_depth: int = 0
+    unmatchable_quantifiers: int = 0
+    per_quantifier: Dict[str, int] = field(default_factory=dict)
+    elapsed: float = 0.0
+    #: Values of "@obligation" marker atoms true in the first saturated
+    #: branch (diagnosis of which proof obligation a non-proof stuck on).
+    sat_markers: List[int] = field(default_factory=list)
+
+
+@dataclass
+class ProverResult:
+    """Verdict plus statistics; ``valid`` reads the refutation outcome."""
+
+    verdict: Verdict
+    stats: ProverStats
+
+    @property
+    def valid(self) -> bool:
+        """For ``prove_valid``: the goal is proved iff refutation closed."""
+        return self.verdict is Verdict.UNSAT
+
+
+@dataclass
+class _QuantRecord:
+    formula: Forall
+    triggers: Tuple[Tuple[Term, ...], ...]
+
+
+class _State:
+    """Branch-local search state (disjunctions and quantifier pool)."""
+
+    __slots__ = ("disjunctions", "quants", "rounds")
+
+    def __init__(self, disjunctions=None, quants=None, rounds=0):
+        self.disjunctions: List[Or] = disjunctions if disjunctions is not None else []
+        self.quants: List[_QuantRecord] = quants if quants is not None else []
+        self.rounds = rounds
+
+    def clone(self) -> "_State":
+        return _State(list(self.disjunctions), list(self.quants), self.rounds)
+
+
+class Solver:
+    """A refutation-based solver for closed first-order formulas."""
+
+    def __init__(self, limits: Optional[Limits] = None):
+        self.limits = limits or Limits()
+        self.egraph = EGraph()
+        self.stats = ProverStats()
+        self._fresh = FreshNames()
+        self._facts: List[Formula] = []
+        self._seen: Set[Tuple] = set()
+        self._seen_trail: List[Tuple] = []
+        self._instance_cache: Dict[Tuple, Formula] = {}
+        self._deadline: Optional[float] = None
+        self._cache_version: int = -1
+        self._lookup_cache: Dict[int, Tuple] = {}
+        self._eval_cache: Dict[int, Tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Loading formulas
+    # ------------------------------------------------------------------
+
+    def add(self, formula: Formula) -> None:
+        """Assert a closed formula (axiom or hypothesis)."""
+        free = formula_free_vars(formula)
+        if free:
+            raise ValueError(f"formula must be closed; free: {sorted(free)}")
+        nnf = to_nnf(formula)
+        self._facts.append(skolemize(nnf, self._fresh, "hyp"))
+
+    def add_negated_goal(self, goal: Formula) -> None:
+        """Assert the ordered negation of ``goal`` (refutation setup)."""
+        free = formula_free_vars(goal)
+        if free:
+            raise ValueError(f"goal must be closed; free: {sorted(free)}")
+        nnf = negate(goal, ordered=True)
+        self._facts.append(skolemize(nnf, self._fresh, "cex"))
+
+    # ------------------------------------------------------------------
+    # Main entry points
+    # ------------------------------------------------------------------
+
+    def check(self) -> ProverResult:
+        """Decide satisfiability of the asserted conjunction."""
+        start = time.monotonic()
+        if self.limits.time_budget is not None:
+            self._deadline = start + self.limits.time_budget
+        state = _State()
+        verdict = Verdict.UNSAT
+        ok = True
+        for fact in self._facts:
+            if not self._assert(fact, state):
+                ok = False
+                break
+        if ok:
+            verdict = self._search(state, 0)
+        self.stats.elapsed = time.monotonic() - start
+        return ProverResult(verdict, self.stats)
+
+    # ------------------------------------------------------------------
+    # Assertion of NNF formulas
+    # ------------------------------------------------------------------
+
+    def _assert(self, formula: Formula, state: _State) -> bool:
+        """Assert an NNF formula; returns False on E-graph conflict."""
+        if isinstance(formula, TrueF):
+            return True
+        if isinstance(formula, FalseF):
+            self.stats.conflicts += 1
+            return False
+        if isinstance(formula, And):
+            for conjunct in formula.conjuncts:
+                if not self._assert(conjunct, state):
+                    return False
+            return True
+        if isinstance(formula, Or):
+            return self._assert_disjunction(formula, state)
+        if isinstance(formula, Forall):
+            self._add_quantifier(formula, state)
+            return True
+        if isinstance(formula, Exists):
+            body = skolemize(formula, self._fresh, "wit")
+            return self._assert(body, state)
+        if isinstance(formula, Eq):
+            left = self.egraph.intern(formula.left)
+            right = self.egraph.intern(formula.right)
+            if not self.egraph.assert_eq(left, right):
+                self.stats.conflicts += 1
+                return False
+            return True
+        if isinstance(formula, Pred):
+            node = self.egraph.intern(App(formula.name, formula.args))
+            if not self.egraph.assert_eq(node, self.egraph.TRUE):
+                self.stats.conflicts += 1
+                return False
+            return True
+        if isinstance(formula, Not):
+            body = formula.body
+            if isinstance(body, Eq):
+                left = self.egraph.intern(body.left)
+                right = self.egraph.intern(body.right)
+                if not self.egraph.assert_diseq(left, right):
+                    self.stats.conflicts += 1
+                    return False
+                return True
+            if isinstance(body, Pred):
+                node = self.egraph.intern(App(body.name, body.args))
+                if not self.egraph.assert_eq(node, self.egraph.FALSE):
+                    self.stats.conflicts += 1
+                    return False
+                return True
+            # Non-atomic negation: normalize and retry.
+            return self._assert(to_nnf(formula), state)
+        raise TypeError(f"cannot assert {formula!r}")
+
+    def _assert_disjunction(self, formula: Or, state: _State) -> bool:
+        status, remaining = self._simplify_disjunction(formula)
+        if status == "sat":
+            return True
+        if status == "conflict":
+            self.stats.conflicts += 1
+            return False
+        if len(remaining) == 1:
+            return self._assert(remaining[0], state)
+        state.disjunctions.append(Or(tuple(remaining)))
+        return True
+
+    def _add_quantifier(self, formula: Forall, state: _State) -> None:
+        # Flatten a Forall prefix so triggers can cover all variables.
+        while isinstance(formula.body, Forall):
+            inner = formula.body
+            triggers = inner.triggers or formula.triggers
+            caps = [c for c in (formula.width_cap, inner.width_cap) if c is not None]
+            formula = Forall(
+                formula.vars + inner.vars,
+                inner.body,
+                triggers,
+                formula.name or inner.name,
+                min(caps) if caps else None,
+            )
+        triggers = formula.triggers
+        if not triggers:
+            triggers = infer_triggers(formula)
+            if not triggers:
+                self.stats.unmatchable_quantifiers += 1
+                return
+        state.quants.append(_QuantRecord(formula, triggers))
+
+    # ------------------------------------------------------------------
+    # Three-valued evaluation against the E-graph
+    # ------------------------------------------------------------------
+
+    def _eval(self, formula: Formula) -> Optional[bool]:
+        if isinstance(formula, TrueF):
+            return True
+        if isinstance(formula, FalseF):
+            return False
+        if isinstance(formula, Eq):
+            left = self.egraph.intern(formula.left)
+            right = self.egraph.intern(formula.right)
+            if self.egraph.are_equal(left, right):
+                return True
+            if self.egraph.are_diseq(left, right):
+                return False
+            return None
+        if isinstance(formula, Pred):
+            node = self.egraph.intern(App(formula.name, formula.args))
+            return self.egraph.truth(node)
+        if isinstance(formula, Not):
+            inner = self._eval(formula.body)
+            return None if inner is None else not inner
+        if isinstance(formula, And):
+            value = True
+            for conjunct in formula.conjuncts:
+                inner = self._eval(conjunct)
+                if inner is False:
+                    return False
+                if inner is None:
+                    value = None
+            return value
+        if isinstance(formula, Or):
+            value = False
+            for disjunct in formula.disjuncts:
+                inner = self._eval(disjunct)
+                if inner is True:
+                    return True
+                if inner is None:
+                    value = None
+            return value
+        return None  # quantifiers and anything else: unknown
+
+    # Passive evaluation: like _eval, but never interns terms. Terms not
+    # present in the E-graph evaluate to "unknown". Lookups and formula
+    # evaluations are memoized by object identity, invalidated whenever the
+    # E-graph changes (its version counter bumps).
+
+    def _refresh_caches(self) -> None:
+        if self._cache_version != self.egraph.version:
+            self._cache_version = self.egraph.version
+            self._lookup_cache.clear()
+            self._eval_cache.clear()
+
+    def _lookup(self, term) -> Optional[int]:
+        self._refresh_caches()
+        key = id(term)
+        hit = self._lookup_cache.get(key)
+        if hit is not None:
+            return hit[1]
+        node = self.egraph.lookup(term)
+        self._lookup_cache[key] = (term, node)
+        return node
+
+    def _eval_passive(self, formula: Formula) -> Optional[bool]:
+        self._refresh_caches()
+        key = id(formula)
+        hit = self._eval_cache.get(key)
+        if hit is not None:
+            return hit[1]
+        value = self._eval_passive_raw(formula)
+        self._eval_cache[key] = (formula, value)
+        return value
+
+    def _eval_passive_raw(self, formula: Formula) -> Optional[bool]:
+        if isinstance(formula, TrueF):
+            return True
+        if isinstance(formula, FalseF):
+            return False
+        if isinstance(formula, Eq):
+            left = self._lookup(formula.left)
+            right = self._lookup(formula.right)
+            if left is None or right is None:
+                return None
+            if self.egraph.are_equal(left, right):
+                return True
+            if self.egraph.are_diseq(left, right):
+                return False
+            return None
+        if isinstance(formula, Pred):
+            node = self._lookup(App(formula.name, formula.args))
+            return None if node is None else self.egraph.truth(node)
+        if isinstance(formula, Not):
+            inner = self._eval_passive(formula.body)
+            return None if inner is None else not inner
+        if isinstance(formula, And):
+            value = True
+            for conjunct in formula.conjuncts:
+                inner = self._eval_passive(conjunct)
+                if inner is False:
+                    return False
+                if inner is None:
+                    value = None
+            return value
+        if isinstance(formula, Or):
+            value = False
+            for disjunct in formula.disjuncts:
+                inner = self._eval_passive(disjunct)
+                if inner is True:
+                    return True
+                if inner is None:
+                    value = None
+            return value
+        return None
+
+    def _instance_width(self, formula: Formula) -> int:
+        """Number of top-level disjuncts not currently refuted.
+
+        The relevancy measure for candidate instances: 0 means the instance
+        conflicts, 1 means it unit-propagates, k means asserting it parks a
+        k-way case split.
+        """
+        value = self._eval_passive(formula)
+        if value is True:
+            return -1  # redundant, skip entirely
+        if value is False:
+            return 0
+        if isinstance(formula, Or):
+            return sum(max(self._instance_width(d), 0) for d in formula.disjuncts)
+        return 1
+
+    def _simplify_disjunction(self, formula: Or):
+        remaining: List[Formula] = []
+        for disjunct in formula.disjuncts:
+            value = self._eval(disjunct)
+            if value is True:
+                return "sat", []
+            if value is None:
+                remaining.append(disjunct)
+        if not remaining:
+            return "conflict", []
+        return "open", remaining
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def _out_of_time(self) -> bool:
+        return self._deadline is not None and time.monotonic() > self._deadline
+
+    def _search(self, state: _State, depth: int) -> Verdict:
+        self.stats.max_depth = max(self.stats.max_depth, depth)
+        if depth > self.limits.max_depth:
+            return Verdict.RESOURCE_OUT
+        while True:
+            if self._out_of_time():
+                return Verdict.RESOURCE_OUT
+            progressed, verdict = self._propagate(state)
+            if verdict is not None:
+                return verdict
+            if progressed:
+                continue
+            if state.disjunctions:
+                return self._split(state, depth)
+            # Leaf: instantiate quantifiers.
+            if state.rounds >= self.limits.max_rounds:
+                return Verdict.RESOURCE_OUT
+            state.rounds += 1
+            self.stats.rounds += 1
+            outcome = self._instantiate_round(state, self.limits.max_instance_width)
+            # Escalate gradually: admit wider case splits, one width step at
+            # a time, before declaring the branch saturated.
+            bonus = 1
+            while outcome == 0 and bonus <= self.limits.escalation_bonus:
+                outcome = self._instantiate_round(
+                    state, self.limits.max_instance_width + bonus
+                )
+                bonus += 1
+            if outcome == "resource":
+                return Verdict.RESOURCE_OUT
+            if outcome == "conflict":
+                return Verdict.UNSAT
+            if outcome == 0:
+                self._record_sat_markers()
+                return Verdict.SAT
+
+    def _propagate(self, state: _State) -> Tuple[bool, Optional[Verdict]]:
+        """One pass of disjunction simplification / unit propagation."""
+        progressed = False
+        surviving: List[Or] = []
+        for disjunction in state.disjunctions:
+            status, remaining = self._simplify_disjunction(disjunction)
+            if status == "sat":
+                progressed = True
+                continue
+            if status == "conflict":
+                self.stats.conflicts += 1
+                return progressed, Verdict.UNSAT
+            if len(remaining) == 1:
+                if not self._assert(remaining[0], state):
+                    return progressed, Verdict.UNSAT
+                progressed = True
+            elif len(remaining) < len(disjunction.disjuncts):
+                surviving.append(Or(tuple(remaining)))
+                progressed = True
+            else:
+                surviving.append(disjunction)
+        state.disjunctions = surviving
+        return progressed, None
+
+    def _split(self, state: _State, depth: int) -> Verdict:
+        # Pick the smallest disjunction; among equals prefer the most
+        # recently derived one — instance-derived splits are usually local
+        # to the contradiction being built.
+        best_index = max(
+            range(len(state.disjunctions)),
+            key=lambda i: (-len(state.disjunctions[i].disjuncts), i),
+        )
+        disjunction = state.disjunctions[best_index]
+        rest = [d for d in state.disjunctions if d is not disjunction]
+        saw_resource = False
+        for disjunct in disjunction.disjuncts:
+            if self.stats.branches >= self.limits.max_branches:
+                return Verdict.RESOURCE_OUT
+            self.stats.branches += 1
+            mark = self.egraph.push()
+            seen_mark = len(self._seen_trail)
+            child = _State(list(rest), list(state.quants), state.rounds)
+            ok = self._assert(disjunct, child)
+            result = self._search(child, depth + 1) if ok else Verdict.UNSAT
+            self.egraph.pop(mark)
+            self._pop_seen(seen_mark)
+            if result is Verdict.SAT:
+                return Verdict.SAT
+            if result is Verdict.RESOURCE_OUT:
+                saw_resource = True
+        return Verdict.RESOURCE_OUT if saw_resource else Verdict.UNSAT
+
+    def _record_sat_markers(self) -> None:
+        """Remember which obligation markers hold in the first SAT branch."""
+        if self.stats.sat_markers:
+            return
+        from repro.logic.terms import IntLit as _IntLit
+
+        for node in self.egraph.apps_with_head("@obligation"):
+            if self.egraph.truth(node) is True:
+                children = self.egraph.children_of(node)
+                if children:
+                    term = self.egraph.term_of(children[0])
+                    if isinstance(term, _IntLit):
+                        self.stats.sat_markers.append(term.value)
+
+    def _pop_seen(self, mark: int) -> None:
+        while len(self._seen_trail) > mark:
+            self._seen.discard(self._seen_trail.pop())
+
+    # ------------------------------------------------------------------
+    # Instantiation
+    # ------------------------------------------------------------------
+
+    def _instantiate_round(self, state: _State, width_limit: Optional[int] = None):
+        """Match every pooled quantifier; assert relevant new instances.
+
+        Candidates are gathered first, filtered by *width* (see
+        ``Limits.max_instance_width``), and asserted narrowest-first so that
+        conflicts and unit propagations land before case splits. Skipped
+        candidates are not marked seen — they are reconsidered on later
+        rounds, when more of their disjuncts may have been refuted.
+
+        Returns the number of asserted instances, or "conflict"/"resource".
+        """
+        if width_limit is None:
+            width_limit = self.limits.max_instance_width
+        candidates = []
+        for record in list(state.quants):
+            quantifier = record.formula
+            effective_limit = width_limit
+            if quantifier.width_cap is not None:
+                effective_limit = min(width_limit, quantifier.width_cap)
+            for multipattern in record.triggers:
+                matches = 0
+                for binding in match_multipattern(self.egraph, multipattern):
+                    if self._out_of_time():
+                        return "resource"
+                    matches += 1
+                    if matches > self.limits.max_matches_per_round:
+                        break
+                    if set(binding) != set(quantifier.vars):
+                        continue  # trigger did not bind every variable
+                    key = (
+                        quantifier,
+                        tuple(binding[v] for v in quantifier.vars),
+                    )
+                    if key in self._seen:
+                        continue
+                    instance = self._instance_cache.get(key)
+                    if instance is None:
+                        mapping = {
+                            v: self.egraph.term_of(node)
+                            for v, node in binding.items()
+                        }
+                        instance = subst_formula(quantifier.body, mapping)
+                        self._instance_cache[key] = instance
+                    width = self._instance_width(instance)
+                    if width < 0 or width > effective_limit:
+                        continue
+                    candidates.append(
+                        (width, len(candidates), key, quantifier, instance, effective_limit)
+                    )
+        candidates.sort(key=lambda c: (c[0], c[1]))
+        added = 0
+        for _, _, key, quantifier, instance, effective_limit in candidates:
+            if key in self._seen:
+                continue
+            # Re-check relevance: earlier assertions may have settled it.
+            width = self._instance_width(instance)
+            if width < 0 or width > effective_limit:
+                continue
+            self._seen.add(key)
+            self._seen_trail.append(key)
+            self.stats.instantiations += 1
+            name = quantifier.name or "<anonymous>"
+            self.stats.per_quantifier[name] = (
+                self.stats.per_quantifier.get(name, 0) + 1
+            )
+            if self.stats.instantiations > self.limits.max_instances:
+                return "resource"
+            added += 1
+            if not self._assert(instance, state):
+                return "conflict"
+        return added
+
+
+def prove_valid(
+    axioms: List[Formula],
+    goal: Formula,
+    limits: Optional[Limits] = None,
+) -> ProverResult:
+    """Prove ``(and axioms) ==> goal`` by refutation.
+
+    ``UNSAT`` means the implication is valid; ``SAT`` means the prover
+    saturated without closing (not provable with the given axioms);
+    ``RESOURCE_OUT`` means the instantiation/time budget was exhausted.
+    """
+    solver = Solver(limits)
+    for axiom in axioms:
+        solver.add(axiom)
+    solver.add_negated_goal(goal)
+    return solver.check()

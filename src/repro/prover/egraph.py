@@ -1,0 +1,399 @@
+"""An E-graph: congruence closure over ground terms with an undo trail.
+
+Terms are hash-consed into integer node ids. A union-find (union by size,
+no path compression, so that unions can be undone) maintains equivalence
+classes; a signature table drives congruence propagation; class member
+lists support E-matching; disequalities and integer constant values are
+tracked for consistency.
+
+Boolean structure is encoded by two distinguished nodes ``TRUE`` and
+``FALSE`` (asserted distinct): a predicate atom holds iff its node is
+merged with ``TRUE``.
+
+All class-level mutations (unions, disequalities, signature-table updates)
+record undo entries; :meth:`EGraph.push` / :meth:`EGraph.pop` provide the
+backtracking used by the tableau search. Node *creation* is permanent —
+interned terms survive pops, only their merges are undone — which keeps
+instance deduplication stable across branches. Consequently a node's
+parent registrations are also permanent and kept per child *node*; a merge
+collects the absorbed class's parents through its (undo-tracked) member
+list, so nodes created in abandoned branches still participate in
+congruence later.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ProverError
+from repro.logic.terms import App, Const, IntLit, Term, Var
+
+#: Function symbols folded on integer literals.
+_ARITH = {"+": lambda a, b: a + b, "-": lambda a, b: a - b, "*": lambda a, b: a * b}
+
+#: Comparison symbols folded on integer literals (to TRUE/FALSE).
+_COMPARE = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class EGraph:
+    """Hash-consed ground terms with congruence closure and backtracking."""
+
+    def __init__(self):
+        # Node payloads, parallel arrays indexed by node id.
+        self._term: List[Term] = []  # original term of each node
+        self._head: List[Optional[str]] = []  # fn symbol for app nodes
+        self._children: List[Tuple[int, ...]] = []
+
+        # Union-find state.
+        self._parent: List[int] = []
+        self._size: List[int] = []
+        self._members: List[List[int]] = []  # member node ids, per root
+        self._uses: List[List[int]] = []  # parent app nodes, per root
+        self._int_value: List[Optional[int]] = []  # per root
+
+        # Hash-consing and congruence signatures.
+        self._memo: Dict[object, int] = {}
+        self._sig: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+
+        # Head-symbol index for E-matching: fn -> app node ids.
+        self._head_index: Dict[str, List[int]] = {}
+
+        # Asserted disequalities (node id pairs).
+        self._diseqs: List[Tuple[int, int]] = []
+
+        # Interpreted app nodes pending constant folding.
+        self._interpreted: List[int] = []
+
+        # Undo trail: list of (tag, payload...) tuples.
+        self._trail: List[Tuple] = []
+
+        self._conflict: bool = False
+
+        #: Bumped on every state change (node creation, union, pop); lets
+        #: clients invalidate evaluation caches cheaply.
+        self.version: int = 0
+
+        self.TRUE = self.intern(Const("@true"))
+        self.FALSE = self.intern(Const("@false"))
+        ok = self.assert_diseq(self.TRUE, self.FALSE)
+        assert ok
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+
+    def intern(self, term: Term) -> int:
+        """Intern a ground term, returning its node id.
+
+        Interning an application also performs upward congruence: if an
+        existing application is congruent under the current equalities, the
+        two nodes are merged immediately.
+        """
+        if isinstance(term, Const):
+            key = ("c", term.name)
+            existing = self._memo.get(key)
+            if existing is not None:
+                return existing
+            node = self._new_node(term, None, ())
+            self._memo[key] = node
+            return node
+        if isinstance(term, IntLit):
+            key = ("i", term.value)
+            existing = self._memo.get(key)
+            if existing is not None:
+                return existing
+            node = self._new_node(term, None, ())
+            self._memo[key] = node
+            self._int_value[node] = term.value
+            return node
+        if isinstance(term, App):
+            child_ids = tuple(self.intern(a) for a in term.args)
+            key = ("a", term.fn, child_ids)
+            existing = self._memo.get(key)
+            if existing is not None:
+                return existing
+            node = self._new_node(term, term.fn, child_ids)
+            self._memo[key] = node
+            self._head_index.setdefault(term.fn, []).append(node)
+            # Parent registration is PERMANENT and per child *node* (not per
+            # root): nodes survive pops, so their congruence bookkeeping
+            # must too. Merges collect a class's parents via its member
+            # list, which is itself undo-tracked.
+            for child in set(child_ids):
+                self._uses[child].append(node)
+            if term.fn in _ARITH or term.fn in _COMPARE:
+                self._interpreted.append(node)
+            # Upward congruence with an existing application.
+            signature = (term.fn, tuple(self.find(c) for c in child_ids))
+            other = self._sig.get(signature)
+            if other is not None and self.find(other) != self.find(node):
+                self._merge(node, other)
+                self._check_diseqs()
+            else:
+                self._trail.append(("sig", signature, self._sig.get(signature)))
+                self._sig[signature] = node
+            self._fold_interpreted()
+            return node
+        if isinstance(term, Var):
+            raise ProverError(f"cannot intern non-ground term containing {term}")
+        raise TypeError(f"not a term: {term!r}")
+
+    def _new_node(self, term: Term, head: Optional[str], children: Tuple[int, ...]) -> int:
+        self.version += 1
+        node = len(self._term)
+        self._term.append(term)
+        self._head.append(head)
+        self._children.append(children)
+        self._parent.append(node)
+        self._size.append(1)
+        self._members.append([node])
+        self._uses.append([])
+        self._int_value.append(None)
+        return node
+
+    # ------------------------------------------------------------------
+    # Union-find
+    # ------------------------------------------------------------------
+
+    def find(self, node: int) -> int:
+        while self._parent[node] != node:
+            node = self._parent[node]
+        return node
+
+    def are_equal(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def are_diseq(self, a: int, b: int) -> bool:
+        """True iff ``a != b`` follows from asserted facts."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        va, vb = self._int_value[ra], self._int_value[rb]
+        if va is not None and vb is not None and va != vb:
+            return True
+        for x, y in self._diseqs:
+            rx, ry = self.find(x), self.find(y)
+            if (rx, ry) == (ra, rb) or (rx, ry) == (rb, ra):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Assertions
+    # ------------------------------------------------------------------
+
+    def assert_eq(self, a: int, b: int) -> bool:
+        """Merge two classes; False (and conflict state) on inconsistency."""
+        if self._conflict:
+            return False
+        self._merge(a, b)
+        if not self._conflict:
+            self._fold_interpreted()
+            self._check_diseqs()
+        return not self._conflict
+
+    def assert_diseq(self, a: int, b: int) -> bool:
+        if self._conflict:
+            return False
+        if self.find(a) == self.find(b):
+            self._set_conflict()
+            return False
+        self.version += 1
+        self._diseqs.append((a, b))
+        self._trail.append(("diseq", len(self._diseqs) - 1))
+        return True
+
+    def truth(self, node: int) -> Optional[bool]:
+        """Three-valued truth of a boolean node relative to TRUE/FALSE."""
+        root = self.find(node)
+        if root == self.find(self.TRUE):
+            return True
+        if root == self.find(self.FALSE):
+            return False
+        if self.are_diseq(node, self.TRUE):
+            return False
+        return None
+
+    @property
+    def in_conflict(self) -> bool:
+        return self._conflict
+
+    def _set_conflict(self) -> None:
+        if not self._conflict:
+            self._conflict = True
+            self._trail.append(("conflict",))
+
+    # ------------------------------------------------------------------
+    # Congruence closure
+    # ------------------------------------------------------------------
+
+    def _merge(self, a: int, b: int) -> None:
+        pending = [(a, b)]
+        while pending and not self._conflict:
+            x, y = pending.pop()
+            rx, ry = self.find(x), self.find(y)
+            if rx == ry:
+                continue
+            if self._size[rx] < self._size[ry]:
+                rx, ry = ry, rx
+            # Integer value consistency and propagation.
+            vx, vy = self._int_value[rx], self._int_value[ry]
+            if vx is not None and vy is not None and vx != vy:
+                self._set_conflict()
+                return
+            # Union ry into rx.
+            self.version += 1
+            absorbed_members = list(self._members[ry])
+            surviving_members = list(self._members[rx])
+            self._trail.append(
+                ("union", rx, ry, self._size[rx], self._int_value[rx],
+                 len(self._members[rx]))
+            )
+            self._parent[ry] = rx
+            self._size[rx] += self._size[ry]
+            self._members[rx].extend(absorbed_members)
+            if vx is None and vy is not None:
+                self._int_value[rx] = vy
+            # Re-signature the parents of every member of BOTH classes
+            # (permanent per-node registrations). Both sides are needed:
+            # a surviving-side parent may have lost its signature entry to
+            # a pop, and this merge is its chance to collide with a
+            # congruent peer.
+            for member in absorbed_members + surviving_members:
+                for parent in self._uses[member]:
+                    signature = (
+                        self._head[parent],
+                        tuple(self.find(c) for c in self._children[parent]),
+                    )
+                    other = self._sig.get(signature)
+                    if other is not None and self.find(other) != self.find(parent):
+                        pending.append((parent, other))
+                    else:
+                        self._trail.append(
+                            ("sig", signature, self._sig.get(signature))
+                        )
+                        self._sig[signature] = parent
+
+    def _check_diseqs(self) -> None:
+        for x, y in self._diseqs:
+            if self.find(x) == self.find(y):
+                self._set_conflict()
+                return
+
+    def _fold_interpreted(self) -> None:
+        """Constant-fold interpreted applications to a fixpoint."""
+        changed = True
+        while changed and not self._conflict:
+            changed = False
+            for node in self._interpreted:
+                values = [self._int_value[self.find(c)] for c in self._children[node]]
+                if any(v is None for v in values):
+                    continue
+                fn = self._head[node]
+                if fn in _ARITH:
+                    result = _ARITH[fn](values[0], values[1])
+                    lit = self.intern(IntLit(result))
+                    if self.find(node) != self.find(lit):
+                        self._merge(node, lit)
+                        changed = True
+                elif fn in _COMPARE:
+                    result = _COMPARE[fn](values[0], values[1])
+                    target = self.TRUE if result else self.FALSE
+                    if self.find(node) != self.find(target):
+                        self._merge(node, target)
+                        changed = True
+            if changed:
+                self._check_diseqs()
+
+    # ------------------------------------------------------------------
+    # Backtracking
+    # ------------------------------------------------------------------
+
+    def push(self) -> int:
+        """Mark the current state; returns a token for :meth:`pop`."""
+        return len(self._trail)
+
+    def pop(self, mark: int) -> None:
+        """Undo all mutations recorded after ``mark``."""
+        self.version += 1
+        while len(self._trail) > mark:
+            entry = self._trail.pop()
+            tag = entry[0]
+            if tag == "union":
+                _, rx, ry, old_size, old_value, old_members = entry
+                self._parent[ry] = ry
+                self._size[rx] = old_size
+                self._int_value[rx] = old_value
+                del self._members[rx][old_members:]
+            elif tag == "sig":
+                _, key, old = entry
+                if old is None:
+                    self._sig.pop(key, None)
+                else:
+                    self._sig[key] = old
+            elif tag == "diseq":
+                del self._diseqs[entry[1] :]
+            elif tag == "conflict":
+                self._conflict = False
+            else:  # pragma: no cover - defensive
+                raise ProverError(f"unknown trail entry {tag!r}")
+
+    # ------------------------------------------------------------------
+    # Introspection (used by the matcher and diagnostics)
+    # ------------------------------------------------------------------
+
+    def lookup(self, term: Term) -> Optional[int]:
+        """The node id of ``term`` if it is already interned, else None.
+
+        Never creates nodes — used by the relevancy filter to evaluate
+        candidate instances without polluting the term universe.
+        """
+        if isinstance(term, Const):
+            return self._memo.get(("c", term.name))
+        if isinstance(term, IntLit):
+            return self._memo.get(("i", term.value))
+        if isinstance(term, App):
+            child_ids = []
+            for arg in term.args:
+                child = self.lookup(arg)
+                if child is None:
+                    return None
+                child_ids.append(child)
+            node = self._memo.get(("a", term.fn, tuple(child_ids)))
+            if node is not None:
+                return node
+            # Fall back to a congruence lookup through the signature table.
+            signature = (term.fn, tuple(self.find(c) for c in child_ids))
+            return self._sig.get(signature)
+        return None
+
+    def term_of(self, node: int) -> Term:
+        return self._term[node]
+
+    def head_of(self, node: int) -> Optional[str]:
+        return self._head[node]
+
+    def children_of(self, node: int) -> Tuple[int, ...]:
+        return self._children[node]
+
+    def apps_with_head(self, fn: str) -> Tuple[int, ...]:
+        return tuple(self._head_index.get(fn, ()))
+
+    def class_members(self, node: int) -> Iterable[int]:
+        return tuple(self._members[self.find(node)])
+
+    def class_apps_with_head(self, node: int, fn: str) -> Iterable[int]:
+        return tuple(
+            m for m in self._members[self.find(node)] if self._head[m] == fn
+        )
+
+    def int_value_of(self, node: int) -> Optional[int]:
+        return self._int_value[self.find(node)]
+
+    @property
+    def node_count(self) -> int:
+        return len(self._term)

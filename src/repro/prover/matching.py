@@ -1,0 +1,100 @@
+"""E-matching: matching trigger patterns against the E-graph.
+
+A pattern is a term containing variables. A match is a substitution from
+pattern variables to E-graph nodes such that the instantiated pattern is
+*congruent* to an existing node — matching is modulo the current
+equalities, which is what lets e.g. the pattern ``inc(S, sel(S,Z,F), B, X, G)``
+match a ground atom ``inc($0, u, g, x, a)`` when ``u`` has been merged with
+``sel($0, x, f)``.
+
+Multi-patterns match each constituent pattern in sequence under a shared
+substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Sequence, Tuple
+
+from repro.logic.terms import App, Const, IntLit, Term, Var
+from repro.prover.egraph import EGraph
+
+Binding = Dict[str, int]
+
+
+def match_multipattern(
+    egraph: EGraph, patterns: Sequence[Term]
+) -> Iterator[Binding]:
+    """All bindings matching every pattern of the multi-pattern."""
+    yield from _match_sequence(egraph, patterns, 0, {})
+
+
+def _match_sequence(
+    egraph: EGraph, patterns: Sequence[Term], index: int, binding: Binding
+) -> Iterator[Binding]:
+    if index == len(patterns):
+        yield dict(binding)
+        return
+    pattern = patterns[index]
+    for extended in _match_anywhere(egraph, pattern, binding):
+        yield from _match_sequence(egraph, patterns, index + 1, extended)
+
+
+def _match_anywhere(
+    egraph: EGraph, pattern: Term, binding: Binding
+) -> Iterator[Binding]:
+    """Match ``pattern`` against any node in the E-graph."""
+    if not isinstance(pattern, App):
+        raise ValueError(f"trigger pattern must be an application: {pattern}")
+    for node in egraph.apps_with_head(pattern.fn):
+        yield from _match_app(egraph, pattern, node, binding)
+
+
+def _match_app(
+    egraph: EGraph, pattern: App, node: int, binding: Binding
+) -> Iterator[Binding]:
+    """Match an application pattern against a specific application node."""
+    children = egraph.children_of(node)
+    if len(children) != len(pattern.args):
+        return
+    yield from _match_children(egraph, pattern.args, children, 0, binding)
+
+
+def _match_children(
+    egraph: EGraph,
+    pattern_args: Tuple[Term, ...],
+    child_nodes: Tuple[int, ...],
+    index: int,
+    binding: Binding,
+) -> Iterator[Binding]:
+    if index == len(pattern_args):
+        yield binding
+        return
+    pattern = pattern_args[index]
+    child = child_nodes[index]
+    for extended in _match_term(egraph, pattern, child, binding):
+        yield from _match_children(egraph, pattern_args, child_nodes, index + 1, extended)
+
+
+def _match_term(
+    egraph: EGraph, pattern: Term, node: int, binding: Binding
+) -> Iterator[Binding]:
+    """Match ``pattern`` against the *class* of ``node``."""
+    if isinstance(pattern, Var):
+        bound = binding.get(pattern.name)
+        if bound is None:
+            extended = dict(binding)
+            extended[pattern.name] = node
+            yield extended
+        elif egraph.are_equal(bound, node):
+            yield binding
+        return
+    if isinstance(pattern, (Const, IntLit)):
+        target = egraph.intern(pattern)
+        if egraph.are_equal(target, node):
+            yield binding
+        return
+    if isinstance(pattern, App):
+        for member in egraph.class_apps_with_head(node, pattern.fn):
+            yield from _match_app(egraph, pattern, member, binding)
+        return
+    raise TypeError(f"not a pattern term: {pattern!r}")

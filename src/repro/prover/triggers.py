@@ -1,0 +1,136 @@
+"""Automatic trigger (pattern) inference for quantifiers.
+
+Hand-written triggers on the background axioms drive most proofs; this
+module supplies patterns for quantifiers that lack them (e.g. the frame
+quantifiers produced by wlp for method calls). The heuristic follows
+Simplify's: collect application subterms of the body that mention at least
+one bound variable and whose head is uninterpreted, prefer small patterns
+that cover all bound variables, and fall back to a greedy multi-pattern
+cover otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence, Tuple
+
+from repro.logic.subst import term_free_vars
+from repro.logic.terms import (
+    And,
+    App,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    INTERPRETED_FNS,
+    INTERPRETED_PREDS,
+    Not,
+    Or,
+    Pred,
+    Term,
+)
+
+#: Heads never used as trigger patterns (folded by the E-graph, so their
+#: instances would be unstable under rewriting).
+_UNTRIGGERABLE = INTERPRETED_FNS | INTERPRETED_PREDS
+
+
+def infer_triggers(
+    quantifier: Forall,
+) -> Tuple[Tuple[Term, ...], ...]:
+    """Infer triggers for ``quantifier``; returns alternative multi-patterns.
+
+    Returns an empty tuple when no pattern can cover the bound variables
+    (the caller counts such quantifiers as unmatchable).
+    """
+    bound = frozenset(quantifier.vars)
+    candidates = _candidate_patterns(quantifier.body, bound)
+    if not candidates:
+        return ()
+    full = [p for p, vs in candidates if vs == bound]
+    if full:
+        # Keep the smallest few single-pattern triggers as alternatives.
+        full.sort(key=_pattern_size)
+        return tuple((p,) for p in full[:3])
+    multi = _greedy_cover(candidates, bound)
+    if multi is None:
+        return ()
+    return (tuple(multi),)
+
+
+def _pattern_size(term: Term) -> int:
+    if isinstance(term, App):
+        return 1 + sum(_pattern_size(a) for a in term.args)
+    return 1
+
+
+def _candidate_patterns(
+    body: Formula, bound: FrozenSet[str]
+) -> List[Tuple[Term, FrozenSet[str]]]:
+    """All application subterms usable as patterns, with their bound vars."""
+    seen = set()
+    result: List[Tuple[Term, FrozenSet[str]]] = []
+
+    def add_term(term: Term) -> None:
+        if isinstance(term, App):
+            for arg in term.args:
+                add_term(arg)
+            if term.fn in _UNTRIGGERABLE or term in seen:
+                return
+            vars_used = term_free_vars(term) & bound
+            if vars_used:
+                seen.add(term)
+                result.append((term, frozenset(vars_used)))
+
+    def walk(formula: Formula) -> None:
+        if isinstance(formula, Eq):
+            add_term(formula.left)
+            add_term(formula.right)
+        elif isinstance(formula, Pred):
+            if formula.name not in _UNTRIGGERABLE:
+                as_term = App(formula.name, formula.args)
+                add_term(as_term)
+            else:
+                for arg in formula.args:
+                    add_term(arg)
+        elif isinstance(formula, Not):
+            walk(formula.body)
+        elif isinstance(formula, And):
+            for conjunct in formula.conjuncts:
+                walk(conjunct)
+        elif isinstance(formula, Or):
+            for disjunct in formula.disjuncts:
+                walk(disjunct)
+        elif isinstance(formula, Implies):
+            walk(formula.antecedent)
+            walk(formula.consequent)
+        elif isinstance(formula, Iff):
+            walk(formula.left)
+            walk(formula.right)
+        elif isinstance(formula, (Forall, Exists)):
+            walk(formula.body)
+
+    walk(body)
+    return result
+
+
+def _greedy_cover(
+    candidates: Sequence[Tuple[Term, FrozenSet[str]]], bound: FrozenSet[str]
+) -> List[Term]:
+    """Greedy set cover of the bound variables by candidate patterns."""
+    uncovered = set(bound)
+    chosen: List[Term] = []
+    pool = sorted(candidates, key=lambda c: (-len(c[1]), _pattern_size(c[0])))
+    while uncovered:
+        best = None
+        best_gain = 0
+        for pattern, vars_used in pool:
+            gain = len(vars_used & uncovered)
+            if gain > best_gain:
+                best, best_gain = pattern, gain
+        if best is None:
+            return None
+        chosen.append(best)
+        uncovered -= term_free_vars(best)
+    return chosen

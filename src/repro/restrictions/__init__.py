@@ -1,0 +1,20 @@
+"""Syntactic alias-confinement restrictions (Section 3 of the paper).
+
+:mod:`repro.restrictions.pivot` implements the **pivot uniqueness**
+restriction, a purely syntactic check on assignment commands. The **owner
+exclusion** restriction is semantic — it is checked as a call-site
+precondition by the VC generator (:mod:`repro.vcgen`) and monitored at
+runtime by the interpreter (:mod:`repro.semantics`).
+"""
+
+from repro.restrictions.pivot import (
+    PivotViolation,
+    check_pivot_uniqueness,
+    enforce_pivot_uniqueness,
+)
+
+__all__ = [
+    "PivotViolation",
+    "check_pivot_uniqueness",
+    "enforce_pivot_uniqueness",
+]

@@ -1,0 +1,44 @@
+"""Operational semantics for oolong: a nondeterministic interpreter.
+
+The interpreter explores every resolution of oolong's demonic choices
+(``[]``, implementation dispatch, and configurable initial values for
+``var``) up to a budget, and reports the set of reachable outcomes:
+normal termination, blocking (a failed ``assume``), or *going wrong* (a
+failed ``assert``).
+
+Three runtime monitors mirror the static system and make the paper's
+soundness claims empirically testable:
+
+* a **modifies monitor** — every field write must be covered by the
+  modifies licence of every active frame, evaluated (like the static
+  semantics) against the frame's entry store;
+* a **pivot-uniqueness monitor** — the store invariant behind the paper's
+  axiom (6);
+* an **owner-exclusion monitor** — the call-site restriction of
+  Section 3.1.
+
+Monitors can be switched off individually, which is how the baseline
+experiments exhibit the runtime failures that the restrictions (and only
+the restrictions) prevent.
+"""
+
+from repro.semantics.interp import (
+    ExplorationConfig,
+    Interpreter,
+    Outcome,
+    OutcomeKind,
+    explore_program,
+)
+from repro.semantics.inclusion import included_locations
+from repro.semantics.store import ObjRef, RuntimeStore
+
+__all__ = [
+    "ExplorationConfig",
+    "Interpreter",
+    "ObjRef",
+    "Outcome",
+    "OutcomeKind",
+    "RuntimeStore",
+    "explore_program",
+    "included_locations",
+]

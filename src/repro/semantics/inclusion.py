@@ -1,0 +1,69 @@
+"""Runtime computation of the main inclusion relation.
+
+``included_locations(scope, store, obj, attr)`` computes the set of
+locations included in ``obj·attr`` in the given store — the operational
+counterpart of the paper's store-dependent inclusion relation (axiom (4)).
+
+The closure rules, read off the inclusion connection:
+
+* ``obj·attr`` includes ``obj·b`` for every attribute ``b`` locally
+  included in ``attr`` (``attr ≽ b``), including ``attr`` itself;
+* if ``obj·attr`` includes ``z·g`` and the scope declares
+  ``field f maps b into g`` (``g —f→ b``), then it also includes
+  ``S(z·f)·b`` and its closure.
+
+The BFS terminates because the store is finite; cyclic rep inclusions
+(the linked list's ``g —next→ g``) just revisit seen locations.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Set, Tuple
+
+from repro.oolong.program import Scope
+from repro.semantics.store import ObjRef, RuntimeStore
+
+Location = Tuple[ObjRef, str]
+
+
+def included_locations(
+    scope: Scope,
+    store: RuntimeStore,
+    obj: ObjRef,
+    attr: str,
+) -> FrozenSet[Location]:
+    """All locations included in ``obj·attr`` in ``store``."""
+    result: Set[Location] = set()
+    frontier: List[Location] = [(obj, attr)]
+    while frontier:
+        location = frontier.pop()
+        if location in result:
+            continue
+        result.add(location)
+        holder, group = location
+        # Local inclusions: every attribute locally included in `group`.
+        for name in scope.attribute_names():
+            if name != group and scope.local_includes(group, name):
+                frontier.append((holder, name))
+        # Rep inclusions rooted exactly at `group`: follow the pivot.
+        for field_decl in scope.pivot_fields():
+            for into_group, mapped in scope.rep_pairs(field_decl.name):
+                if into_group == group:
+                    target = store.read(holder, field_decl.name)
+                    if isinstance(target, ObjRef):
+                        frontier.append((target, mapped))
+    return frozenset(result)
+
+
+def location_covered(
+    scope: Scope,
+    store: RuntimeStore,
+    owner: ObjRef,
+    owner_attr: str,
+    target: ObjRef,
+    target_attr: str,
+) -> bool:
+    """Does ``owner·owner_attr`` include ``target·target_attr``?"""
+    return (target, target_attr) in included_locations(
+        scope, store, owner, owner_attr
+    )

@@ -1,0 +1,40 @@
+"""Verification-condition generation (Section 4 of the paper).
+
+* :mod:`repro.vcgen.vocab` — the logical vocabulary: ``sel``/``upd``
+  stores, ``alive``/``new``/``succ`` allocation, the three inclusion
+  relations ``linc``/``rinc``/``inc``, and naming conventions.
+* :mod:`repro.vcgen.translate` — the ``tr`` translation of oolong
+  expressions (Figure 2) and the ``mod``/``incl``/``ownExcl`` macros.
+* :mod:`repro.vcgen.wlp` — weakest liberal preconditions for commands
+  (Figure 2) and method calls (Figure 3).
+* :mod:`repro.vcgen.background` — the universal background predicate UBP
+  and the scope-dependent background predicate BP_D, with hand-written
+  E-matching triggers.
+* :mod:`repro.vcgen.vc` — ``Init(m)`` and per-implementation VC assembly
+  (formula (1) of the paper).
+* :mod:`repro.vcgen.checker` — the end-to-end checker driver.
+"""
+
+from repro.vcgen.background import scope_background, universal_background
+from repro.vcgen.checker import CheckReport, ImplVerdict, check_scope
+from repro.vcgen.translate import TranslationContext, incl_formula, mod_formula, own_excl_formula, tr_formula, tr_term
+from repro.vcgen.vc import VCBundle, init_formula, vc_for_impl
+from repro.vcgen.wlp import wlp
+
+__all__ = [
+    "CheckReport",
+    "ImplVerdict",
+    "TranslationContext",
+    "VCBundle",
+    "check_scope",
+    "incl_formula",
+    "init_formula",
+    "mod_formula",
+    "own_excl_formula",
+    "scope_background",
+    "tr_formula",
+    "tr_term",
+    "universal_background",
+    "vc_for_impl",
+    "wlp",
+]

@@ -1,0 +1,488 @@
+"""The background predicates: UBP (universal) and BP_D (scope-dependent).
+
+Every axiom carries hand-written E-matching triggers, mirroring how the
+paper's checker drove Simplify. Axiom numbering follows the paper:
+
+* store select/update (McCarthy) and allocation axioms (Section 4.0);
+* the inclusion connection (4), split into a *local* introduction rule, a
+  goal-directed *step* rule, and the *decomposition* rule with skolemized
+  witnesses;
+* transitivity of ``inc``;
+* pivot uniqueness (6);
+* the no-cycle axiom (7);
+* store-insensitivity of ``inc`` to non-pivot writes;
+* per-attribute local-inclusion completeness and per-field rep-inclusion
+  completeness — the paper's scope axioms, including (8) and (9).
+
+The decomposition rule (4a) is the known matching-loop generator: each
+instance manufactures new ``inc`` terms over skolem witnesses that its own
+trigger then matches. The prover's instantiation budget bounds it — the
+analogue of the divergence the paper reports for cyclic rep inclusions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.logic.terms import (
+    And,
+    App,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    Var,
+    conj,
+    disj,
+    neq,
+)
+from repro.oolong.program import Scope
+from repro.vcgen.vocab import (
+    ALIVE,
+    INC,
+    LINC,
+    NULL,
+    RINC,
+    SEL,
+    SUCC,
+    UPD,
+    alive,
+    alive_t,
+    attr_const,
+    inc,
+    inc_t,
+    linc,
+    linc_t,
+    new,
+    rinc,
+    rinc_t,
+    sel,
+    succ,
+    upd,
+)
+
+# Shared bound-variable terms (names are local to each quantifier).
+S, T = Var("S"), Var("T")
+X, Y, Z = Var("X"), Var("Y"), Var("Z")
+A, B, C = Var("A"), Var("B"), Var("C")
+F, G, H, K, V = Var("F"), Var("G"), Var("H"), Var("K"), Var("V")
+
+
+def universal_background() -> List[Formula]:
+    """The universal background predicate UBP, as a list of named axioms."""
+    axioms: List[Formula] = []
+
+    # --- Store theory -----------------------------------------------------
+    axioms.append(
+        Forall(
+            ("S", "X", "A", "V"),
+            Eq(sel(upd(S, X, A, V), X, A), V),
+            ((App(UPD, (S, X, A, V)),),),
+            "sel-upd-same",
+            1,
+        )
+    )
+    axioms.append(
+        Forall(
+            ("S", "X", "A", "V", "Y", "B"),
+            disj(
+                (
+                    conj((Eq(Y, X), Eq(B, A))),
+                    Eq(sel(upd(S, X, A, V), Y, B), sel(S, Y, B)),
+                )
+            ),
+            ((App(SEL, (upd(S, X, A, V), Y, B)),),),
+            "sel-upd-other",
+            2,
+        )
+    )
+    axioms.append(
+        Forall(
+            ("S", "X", "A", "V", "Y"),
+            Iff(alive(upd(S, X, A, V), Y), alive(S, Y)),
+            (
+                (App(ALIVE, (upd(S, X, A, V), Y)),),
+                (App(UPD, (S, X, A, V)), alive_t(S, Y)),
+            ),
+            "alive-upd",
+            2,
+        )
+    )
+
+    # --- Allocation -------------------------------------------------------
+    axioms.append(
+        Forall(("S",), Not(alive(S, new(S))), ((App("new", (S,)),),), "new-unalloc", 1)
+    )
+    axioms.append(
+        Forall(
+            ("S",),
+            alive(succ(S), new(S)),
+            ((App(SUCC, (S,)),),),
+            "succ-allocates-new",
+            1,
+        )
+    )
+    axioms.append(
+        Forall(
+            ("S", "X"),
+            Implies(alive(S, X), alive(succ(S), X)),
+            (
+                (App(ALIVE, (succ(S), X)),),
+                (App(SUCC, (S,)), alive_t(S, X)),
+            ),
+            "succ-mono-alive",
+            1,
+        )
+    )
+    # Allocation changes the alive set, never field contents.
+    axioms.append(
+        Forall(
+            ("S", "X", "A"),
+            Eq(sel(succ(S), X, A), sel(S, X, A)),
+            ((App(SEL, (succ(S), X, A)),),),
+            "succ-preserves-sel",
+            1,
+        )
+    )
+    axioms.append(
+        Forall(
+            ("S", "X"),
+            Implies(alive(succ(S), X), disj((alive(S, X), Eq(X, new(S))))),
+            ((App(ALIVE, (succ(S), X)),),),
+            "succ-alive-inverse",
+            2,
+        )
+    )
+
+    # null is never an allocated object.
+    axioms.append(
+        Forall(
+            ("S",),
+            Not(alive(S, NULL)),
+            ((App(ALIVE, (S, NULL)),),),
+            "null-not-alive",
+            1,
+        )
+    )
+
+    # --- Reachable-store invariants (elided by the paper, required by its
+    # example proofs): unallocated objects have all-null fields, and values
+    # stored in allocated objects are themselves allocated (or non-objects).
+    axioms.append(
+        Forall(
+            ("S", "X", "A"),
+            disj((alive(S, X), Eq(sel(S, X, A), NULL))),
+            ((App(SEL, (S, X, A)),),),
+            "unalloc-null",
+            2,
+        )
+    )
+    axioms.append(
+        Forall(
+            ("S", "X", "A"),
+            Implies(
+                conj((alive(S, X), Pred("isObj", (sel(S, X, A),)))),
+                alive(S, sel(S, X, A)),
+            ),
+            ((App(SEL, (S, X, A)),),),
+            "stored-values-alive",
+            1,
+        )
+    )
+
+    # --- Inclusion connection (4) ------------------------------------------
+    # Local introduction: X = Y case.
+    axioms.append(
+        Forall(
+            ("S", "X", "A", "B"),
+            Implies(linc(A, B), inc(S, X, A, X, B)),
+            ((inc_t(S, X, A, X, B),),),
+            "inc-local",
+            1,
+        )
+    )
+    # Goal-directed step: extend a chain through one pivot dereference.
+    axioms.append(
+        Forall(
+            ("S", "X", "A", "Z", "H", "F", "K", "B"),
+            Implies(
+                conj((inc(S, X, A, Z, H), rinc(F, H, K), linc(K, B))),
+                disj((Eq(X, sel(S, Z, F)), inc(S, X, A, sel(S, Z, F), B))),
+            ),
+            (
+                (inc_t(S, X, A, sel(S, Z, F), B), rinc_t(F, H, K)),
+                (inc_t(S, X, A, Z, H), rinc_t(F, H, K), linc_t(K, B), App(SEL, (S, Z, F))),
+            ),
+            "inc-step",
+            2,
+        )
+    )
+    # Decomposition (4a): every inclusion is local or runs through a last
+    # pivot dereference. Skolem witnesses are introduced by the Exists.
+    axioms.append(
+        Forall(
+            ("S", "X", "A", "Y", "B"),
+            Implies(
+                inc(S, X, A, Y, B),
+                disj(
+                    (
+                        conj((Eq(X, Y), linc(A, B))),
+                        conj(
+                            (
+                                neq(X, Y),
+                                Exists(
+                                    ("Z", "H", "F", "K"),
+                                    conj(
+                                        (
+                                            inc(S, X, A, Z, H),
+                                            rinc(F, H, K),
+                                            Eq(Y, sel(S, Z, F)),
+                                            linc(K, B),
+                                        )
+                                    ),
+                                ),
+                            )
+                        ),
+                    )
+                ),
+            ),
+            ((inc_t(S, X, A, Y, B),),),
+            "inc-decompose",
+            2,
+        )
+    )
+    # First-step decomposition: a cross-object chain starts with a pivot
+    # hop from X itself — ∃H,F,K: linc(A,H) ∧ rinc(F,H,K) with the rest of
+    # the chain from sel(S,X,F)·K. A lemma of (4), included so mechanical
+    # proofs about *fresh* objects terminate: a fresh X has all-null pivot
+    # fields, so the hop dies immediately.
+    axioms.append(
+        Forall(
+            ("S", "X", "A", "Y", "B"),
+            Implies(
+                inc(S, X, A, Y, B),
+                disj(
+                    (
+                        conj((Eq(X, Y), linc(A, B))),
+                        conj(
+                            (
+                                neq(X, Y),
+                                Exists(
+                                    ("H", "F", "K"),
+                                    conj(
+                                        (
+                                            linc(A, H),
+                                            rinc(F, H, K),
+                                            inc(S, sel(S, X, F), K, Y, B),
+                                        )
+                                    ),
+                                ),
+                            )
+                        ),
+                    )
+                ),
+            ),
+            ((inc_t(S, X, A, Y, B),),),
+            "inc-first-step",
+            2,
+        )
+    )
+    # Chains never pass through null: null's fields are null, so null's
+    # groups include only null's own locations (a lemma of (4) plus the
+    # reachable-store invariants).
+    axioms.append(
+        Forall(
+            ("S", "A", "Y", "B"),
+            Implies(inc(S, NULL, A, Y, B), Eq(Y, NULL)),
+            ((inc_t(S, NULL, A, Y, B),),),
+            "null-inc-empty",
+            1,
+        )
+    )
+    # Transitivity of the main inclusion relation.
+    axioms.append(
+        Forall(
+            ("S", "X", "A", "Y", "B", "Z", "C"),
+            Implies(
+                conj((inc(S, X, A, Y, B), inc(S, Y, B, Z, C))),
+                inc(S, X, A, Z, C),
+            ),
+            ((inc_t(S, X, A, Y, B), inc_t(S, Y, B, Z, C)),),
+            "inc-transitive",
+            1,
+        )
+    )
+
+    # --- Pivot uniqueness (6) ----------------------------------------------
+    axioms.append(
+        Forall(
+            ("S", "F", "G", "A", "X", "Y", "B"),
+            Implies(
+                conj(
+                    (
+                        rinc(F, G, A),
+                        neq(sel(S, X, F), NULL),
+                        Eq(sel(S, X, F), sel(S, Y, B)),
+                    )
+                ),
+                conj((Eq(X, Y), Eq(F, B))),
+            ),
+            ((rinc_t(F, G, A), App(SEL, (S, X, F)), App(SEL, (S, Y, B))),),
+            "pivot-unique",
+            1,
+        )
+    )
+
+    # --- No inclusion cycles (7) ---------------------------------------------
+    axioms.append(
+        Forall(
+            ("S", "F", "G", "A", "X", "B"),
+            Implies(
+                conj((rinc(F, G, A), neq(sel(S, X, F), NULL))),
+                Not(inc(S, sel(S, X, F), B, X, G)),
+            ),
+            ((rinc_t(F, G, A), inc_t(S, sel(S, X, F), B, X, G)),),
+            "no-cycle",
+            1,
+        )
+    )
+
+    # --- Object-sortedness (the paper's elided typing layer) ----------------
+    # Pivot fields hold null or allocated objects (they are only ever
+    # assigned new() or null); literals and operator results are not
+    # objects. These facts discharge owner-exclusion obligations for
+    # non-object arguments like the 3 in push(st, 3).
+    axioms.append(
+        Forall(("S",), Pred("isObj", (new(S),)), ((App("new", (S,)),),), "new-isObj", 1)
+    )
+    # null is not an object (in particular, allocation never returns null).
+    axioms.append(Not(Pred("isObj", (NULL,))))
+    axioms.append(
+        Forall(
+            ("S", "F", "G", "A", "X"),
+            Implies(
+                conj((rinc(F, G, A), neq(sel(S, X, F), NULL))),
+                Pred("isObj", (sel(S, X, F),)),
+            ),
+            ((rinc_t(F, G, A), App(SEL, (S, X, F))),),
+            "pivot-content-isObj",
+            1,
+        )
+    )
+    for op in ("+", "-", "*"):
+        axioms.append(
+            Forall(
+                ("X", "Y"),
+                Not(Pred("isObj", (App(op, (X, Y)),))),
+                ((App(op, (X, Y)),),),
+                f"op-not-isObj:{op}",
+                1,
+            )
+        )
+
+    # --- Insensitivity of inc to non-pivot writes ---------------------------
+    # If S and T agree on every pivot field then inc(S,·) <=> inc(T,·).
+    # The inner universal premise skolemizes to witness functions of (S, T).
+    axioms.append(
+        Forall(
+            ("S", "T", "X", "A", "Y", "B"),
+            Implies(
+                Forall(
+                    ("Z", "F", "G", "H"),
+                    Implies(rinc(F, G, H), Eq(sel(S, Z, F), sel(T, Z, F))),
+                ),
+                Iff(inc(S, X, A, Y, B), inc(T, X, A, Y, B)),
+            ),
+            ((inc_t(S, X, A, Y, B), inc_t(T, X, A, Y, B)),),
+            "inc-insensitive",
+            1,
+        )
+    )
+
+    return axioms
+
+
+def scope_background(scope: Scope) -> List[Formula]:
+    """The scope-dependent background predicate BP_D.
+
+    Per declared attribute ``a``: the ground local-inclusion facts and the
+    completeness axiom ``forall G :: linc(G, a) ==> G = a | G = g1 | ...``.
+    Per declared attribute ``f``: the ground rep-inclusion facts and the
+    completeness axiom combining the paper's (8) and (9):
+    ``forall A, B :: rinc(f, A, B) ==> \\/_i (A = a_i & B = b_i)``
+    (the empty disjunction — ``f`` is no pivot — yields ``!rinc(f, A, B)``).
+    Attribute constants are pairwise distinct.
+    """
+    axioms: List[Formula] = []
+    attributes = scope.attribute_names()
+
+    # Attribute constants denote distinct attributes.
+    consts = [attr_const(name) for name in attributes]
+    for i, left in enumerate(consts):
+        for right in consts[i + 1 :]:
+            axioms.append(neq(left, right))
+
+    for name in attributes:
+        const = attr_const(name)
+        # Ground facts: reflexivity and every enclosing group.
+        axioms.append(linc(const, const))
+        enclosing = sorted(scope.enclosing_groups(name))
+        for group_name in enclosing:
+            axioms.append(linc(attr_const(group_name), const))
+        # Completeness of local inclusion into this attribute.
+        options = [Eq(G, const)] + [Eq(G, attr_const(g)) for g in enclosing]
+        axioms.append(
+            Forall(
+                ("G",),
+                Implies(linc(G, const), disj(options)),
+                ((linc_t(G, const),),),
+                f"linc-complete:{name}",
+            )
+        )
+        # Fields are leaves of the local-inclusion order and never targets
+        # of maps-into clauses: `in`/`into` targets must be declared groups,
+        # so no extension can ever put anything inside a field. Both facts
+        # are scope knowledge in the sense of the paper's BP_D.
+        if scope.is_field(name):
+            axioms.append(
+                Forall(
+                    ("A",),
+                    Implies(linc(const, A), Eq(A, const)),
+                    ((linc_t(const, A),),),
+                    f"field-linc-leaf:{name}",
+                    1,
+                )
+            )
+            axioms.append(
+                Forall(
+                    ("F", "B"),
+                    Not(rinc(F, const, B)),
+                    ((rinc_t(F, const, B),),),
+                    f"field-no-rep:{name}",
+                    1,
+                )
+            )
+        # Ground rep facts and completeness of rep inclusion through `name`.
+        pairs = scope.rep_pairs(name) if scope.is_field(name) else ()
+        for group_name, mapped in pairs:
+            axioms.append(rinc(const, attr_const(group_name), attr_const(mapped)))
+        cases = [
+            conj((Eq(A, attr_const(group_name)), Eq(B, attr_const(mapped))))
+            for group_name, mapped in pairs
+        ]
+        axioms.append(
+            Forall(
+                ("A", "B"),
+                Implies(rinc(const, A, B), disj(cases)),
+                ((rinc_t(const, A, B),),),
+                f"rinc-complete:{name}",
+            )
+        )
+
+    return axioms

@@ -1,0 +1,131 @@
+"""The end-to-end modular checker driver.
+
+``check_scope`` runs the full pipeline the paper's checker implements:
+
+1. well-formedness (self-contained names, acyclic local inclusions);
+2. the syntactic pivot-uniqueness restriction;
+3. per-implementation VC generation and mechanical proof.
+
+Owner exclusion needs no separate pass: it is embedded in every call's
+verification condition and assumed on entry via ``Init``.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.oolong.ast import ImplDecl
+from repro.oolong.contracts import desugar_contracts
+from repro.oolong.program import Scope
+from repro.oolong.wellformed import check_well_formed
+from repro.prover.core import Limits, ProverStats, Verdict
+from repro.restrictions.pivot import PivotViolation, check_pivot_uniqueness
+from repro.vcgen.vc import vc_for_impl
+from repro.vcgen.wlp import ObligationInfo
+
+
+class ImplStatus(enum.Enum):
+    """Outcome of checking one implementation."""
+
+    VERIFIED = "verified"
+    NOT_PROVED = "not proved"
+    RESOURCE_OUT = "resource limit exceeded"
+
+
+@dataclass
+class ImplVerdict:
+    """The checker's verdict for a single implementation."""
+
+    impl: ImplDecl
+    index: int
+    status: ImplStatus
+    stats: ProverStats
+    failed_obligation: Optional[ObligationInfo] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ImplStatus.VERIFIED
+
+    def describe(self) -> str:
+        text = f"impl {self.impl.name}#{self.index}: {self.status.value}"
+        if self.failed_obligation is not None:
+            text += f" — stuck on {self.failed_obligation}"
+        return text
+
+
+@dataclass
+class CheckReport:
+    """Everything ``check_scope`` found."""
+
+    pivot_violations: List[PivotViolation] = field(default_factory=list)
+    verdicts: List[ImplVerdict] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.pivot_violations and all(v.ok for v in self.verdicts)
+
+    def verdict_for(self, proc_name: str, index: int = 0) -> Optional[ImplVerdict]:
+        matching = [v for v in self.verdicts if v.impl.name == proc_name]
+        if index < len(matching):
+            return matching[index]
+        return None
+
+    def describe(self) -> str:
+        lines: List[str] = []
+        for violation in self.pivot_violations:
+            lines.append(f"restriction violation: {violation}")
+        for verdict in self.verdicts:
+            lines.append(verdict.describe())
+        lines.append("OK" if self.ok else "FAILED")
+        return "\n".join(lines)
+
+
+def check_scope(
+    scope: Scope,
+    limits: Optional[Limits] = None,
+    *,
+    enforce_restrictions: bool = True,
+) -> CheckReport:
+    """Check every implementation in ``scope``.
+
+    ``enforce_restrictions=False`` disables the pivot-uniqueness pass (used
+    by the baseline experiments that demonstrate why the restriction is
+    needed); the VCs are still generated and proved against the full
+    background predicate.
+    """
+    start = time.monotonic()
+    check_well_formed(scope)
+    scope = desugar_contracts(scope)
+    report = CheckReport()
+    if enforce_restrictions:
+        report.pivot_violations = check_pivot_uniqueness(scope)
+    for impls in scope.impls.values():
+        for index, impl in enumerate(impls):
+            bundle = vc_for_impl(scope, impl)
+            result = bundle.prove(limits)
+            if result.verdict is Verdict.UNSAT:
+                status = ImplStatus.VERIFIED
+            elif result.verdict is Verdict.SAT:
+                status = ImplStatus.NOT_PROVED
+            else:
+                status = ImplStatus.RESOURCE_OUT
+            failed = (
+                bundle.failed_obligation(result)
+                if status is ImplStatus.NOT_PROVED
+                else None
+            )
+            report.verdicts.append(
+                ImplVerdict(
+                    impl=impl,
+                    index=index,
+                    status=status,
+                    stats=result.stats,
+                    failed_obligation=failed,
+                )
+            )
+    report.elapsed = time.monotonic() - start
+    return report

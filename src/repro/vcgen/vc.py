@@ -1,0 +1,233 @@
+"""Assembly of per-implementation verification conditions (formula (1)).
+
+``VC_D(m, C) = UBP & BP_D & Init(m) ==> wlp_{w,$0}(C, true)``
+
+``Init(m)`` contributes, for every formal parameter ``t`` of ``m``,
+``ownExcl(t, w, $0) & alive($0, t)`` (the paper's (5)); the ``$ = $0``
+identification is performed by substituting the entry store for the free
+current-store variable of the wlp. Formal parameters are encoded as logic
+constants bearing their source names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import VerificationError
+from repro.logic.nnf import FreshNames
+from repro.logic.subst import subst_formula
+from repro.logic.terms import Const, Formula, IntLit, Not, Pred, TrueF, conj
+from repro.oolong.ast import (
+    Assert,
+    Assign,
+    AssignNew,
+    Assume,
+    BinOp,
+    Call,
+    Choice,
+    ImplDecl,
+    IntConst,
+    ProcDecl,
+    Seq,
+    UnOp,
+    VarCmd,
+)
+from repro.oolong.program import Scope
+from repro.prover.core import Limits, ProverResult, prove_valid
+from repro.vcgen.background import scope_background, universal_background
+from repro.vcgen.translate import TranslationContext, own_excl_formula
+from repro.vcgen.vocab import alive, entry_store
+from repro.vcgen.wlp import OBLIGATION_MARKER, ObligationInfo, WlpContext, wlp
+
+
+def init_formula(scope: Scope, proc: ProcDecl, fresh: FreshNames) -> Formula:
+    """``Init(m)``: owner exclusion and liveness of every formal at entry."""
+    env = {param: Const(param) for param in proc.params}
+    conjuncts: List[Formula] = []
+    for param in proc.params:
+        own = own_excl_formula(
+            Const(param), proc.modifies, env, entry_store(), fresh
+        )
+        if not isinstance(own, TrueF):
+            conjuncts.append(own)
+        conjuncts.append(alive(entry_store(), Const(param)))
+    return conj(conjuncts)
+
+
+def _literals_in(impl: ImplDecl) -> List[int]:
+    """All integer literals occurring in the implementation body."""
+    found: List[int] = []
+
+    def expr(node) -> None:
+        if isinstance(node, IntConst):
+            found.append(node.value)
+        elif isinstance(node, BinOp):
+            expr(node.left)
+            expr(node.right)
+        elif isinstance(node, UnOp):
+            expr(node.operand)
+
+    def cmd(node) -> None:
+        if isinstance(node, (Assert, Assume)):
+            expr(node.condition)
+        elif isinstance(node, Assign):
+            expr(node.target)
+            expr(node.rhs)
+        elif isinstance(node, AssignNew):
+            expr(node.target)
+        elif isinstance(node, Seq):
+            cmd(node.first)
+            cmd(node.second)
+        elif isinstance(node, Choice):
+            cmd(node.left)
+            cmd(node.right)
+        elif isinstance(node, VarCmd):
+            cmd(node.body)
+        elif isinstance(node, Call):
+            for arg in node.args:
+                expr(arg)
+
+    cmd(impl.body)
+    return sorted(set(found))
+
+
+def _sort_facts(impl: ImplDecl) -> List[Formula]:
+    """``isObj`` negations for the literal values the body mentions."""
+    facts: List[Formula] = [
+        Not(Pred("isObj", (Const("@true"),))),
+        Not(Pred("isObj", (Const("@false"),))),
+    ]
+    for value in _literals_in(impl):
+        facts.append(Not(Pred("isObj", (IntLit(value),))))
+    return facts
+
+
+def _marker_traversal_order(goal: Formula) -> List[int]:
+    """Obligation-marker ids in left-to-right goal order (first occurrence)."""
+    order: List[int] = []
+    seen = set()
+
+    def walk(formula) -> None:
+        from repro.logic.terms import (
+            And as _And,
+            Exists as _Exists,
+            Forall as _Forall,
+            Iff as _Iff,
+            Implies as _Implies,
+            Not as _Not,
+            Or as _Or,
+        )
+
+        if isinstance(formula, Pred):
+            if (
+                formula.name == OBLIGATION_MARKER
+                and formula.args
+                and isinstance(formula.args[0], IntLit)
+            ):
+                ident = formula.args[0].value
+                if ident not in seen:
+                    seen.add(ident)
+                    order.append(ident)
+        elif isinstance(formula, _Not):
+            walk(formula.body)
+        elif isinstance(formula, _And):
+            for conjunct in formula.conjuncts:
+                walk(conjunct)
+        elif isinstance(formula, _Or):
+            for disjunct in formula.disjuncts:
+                walk(disjunct)
+        elif isinstance(formula, _Implies):
+            walk(formula.antecedent)
+            walk(formula.consequent)
+        elif isinstance(formula, _Iff):
+            walk(formula.left)
+            walk(formula.right)
+        elif isinstance(formula, (_Forall, _Exists)):
+            walk(formula.body)
+
+    walk(goal)
+    return order
+
+
+@dataclass
+class VCBundle:
+    """A ready-to-prove verification condition for one implementation."""
+
+    impl: ImplDecl
+    proc: ProcDecl
+    hypotheses: List[Formula]
+    goal: Formula
+    obligations: List[ObligationInfo] = field(default_factory=list)
+
+    def prove(self, limits: Optional[Limits] = None) -> ProverResult:
+        return prove_valid(self.hypotheses, self.goal, limits)
+
+    def failed_obligation(self, result: ProverResult) -> Optional[ObligationInfo]:
+        """The obligation a non-proof got stuck on, if identifiable.
+
+        Under the ordered goal negation, a saturated branch asserts the
+        markers of every obligation on the control path up to and including
+        the one being refuted — so among the true markers, the one latest
+        in the goal's left-to-right traversal order names the refuted
+        obligation. (Registration order cannot be used: wlp builds the
+        formula backwards.)
+        """
+        markers = set(result.stats.sat_markers)
+        if not markers:
+            return None
+        order = _marker_traversal_order(self.goal)
+        latest = None
+        for ident in order:
+            if ident in markers:
+                latest = ident
+        if latest is not None and 0 <= latest < len(self.obligations):
+            return self.obligations[latest]
+        return None
+
+
+def vc_for_impl(
+    scope: Scope, impl: ImplDecl, *, owner_exclusion: bool = True
+) -> VCBundle:
+    """Generate the verification condition for ``impl`` in ``scope``.
+
+    ``owner_exclusion=False`` drops both the call-site owner-exclusion
+    obligations and the corresponding ``Init`` assumptions — the unsound
+    naive baseline of the Section 3 experiments.
+    """
+    proc = scope.proc(impl.name)
+    if proc is None:
+        raise VerificationError(
+            f"implementation of undeclared procedure {impl.name!r}"
+        )
+    fresh = FreshNames()
+    ctx = TranslationContext(
+        env={param: Const(param) for param in proc.params}, fresh=fresh
+    )
+    wctx = WlpContext(
+        scope=scope,
+        proc=proc,
+        ctx=ctx,
+        entry_store=entry_store(),
+        owner_exclusion=owner_exclusion,
+    )
+    body_wlp = wlp(impl.body, TrueF(), wctx)
+    goal = subst_formula(body_wlp, {"$": entry_store()})
+
+    # Init(m) is kept even for the naive baseline: the "yes" horn of the
+    # paper's Section 3 dilemma *assumes* the alias-confinement facts on
+    # entry while no longer enforcing them at call sites — which is exactly
+    # what makes it modularly unsound.
+    hypotheses = (
+        universal_background()
+        + scope_background(scope)
+        + _sort_facts(impl)
+        + [init_formula(scope, proc, fresh)]
+    )
+    return VCBundle(
+        impl=impl,
+        proc=proc,
+        hypotheses=hypotheses,
+        goal=goal,
+        obligations=list(wctx.obligations),
+    )

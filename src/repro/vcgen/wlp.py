@@ -1,0 +1,328 @@
+"""Weakest liberal preconditions for oolong commands (Figures 2 and 3).
+
+``wlp(cmd, post)`` is computed backwards over the command structure. The
+current store is the free variable ``$``; store-changing commands
+substitute it. The entry store ``$0`` — against which the method's own
+modifies list is evaluated, per the paper's "what is allowed to be
+modified ... is determined by the method's declared modifies list evaluated
+using the values of pivot fields on entry" — is a constant supplied by the
+context.
+
+Conjunct order is load-bearing: the refutation engine negates the goal in
+*ordered* form, so obligations listed earlier (e.g. a call's owner-exclusion
+check) may be assumed while refuting later ones (e.g. a subsequent assert) —
+mirroring the paper's hand proofs.
+
+Allocation commands substitute the store and target *simultaneously*
+(``x := new()`` yields ``post[x := new($), $ := succ($)]``), which is the
+operationally correct reading of the paper's substitution chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import VerificationError
+from repro.logic.terms import (
+    App,
+    Eq,
+    Forall,
+    Formula,
+    Implies,
+    Term,
+    TrueF,
+    Var,
+    conj,
+    disj,
+)
+from repro.logic.subst import subst_formula
+from repro.oolong.ast import (
+    Assert,
+    Assign,
+    AssignNew,
+    Assume,
+    Call,
+    Choice,
+    Cmd,
+    Designator,
+    FieldAccess,
+    Id,
+    ProcDecl,
+    Seq,
+    Skip,
+    VarCmd,
+)
+from repro.oolong.program import Scope
+from repro.vcgen.translate import (
+    TranslationContext,
+    mod_formula,
+    own_excl_formula,
+    tr_designator_prefix,
+    tr_formula,
+    tr_term,
+    welldef_premises,
+)
+from repro.vcgen.vocab import (
+    ALIVE,
+    SEL,
+    alive,
+    alive_t,
+    attr_const,
+    new,
+    sel,
+    store_var,
+    succ,
+    upd,
+)
+
+
+from repro.logic.terms import OBLIGATION_MARKER
+
+
+@dataclass(frozen=True)
+class ObligationInfo:
+    """What one proof obligation is about, for failure reporting."""
+
+    ident: int
+    kind: str
+    description: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.description}"
+
+
+@dataclass
+class WlpContext:
+    """Everything wlp needs about the implementation being verified.
+
+    ``owner_exclusion=False`` drops the call-site owner-exclusion checks —
+    used only by the unsound naive baseline of the Section 3 experiments.
+
+    ``obligations`` registers the proof obligations in emission order; each
+    obligation conjunct is tagged with an inert marker atom so a failed
+    proof can name the obligation it got stuck on (the highest-numbered
+    marker asserted in the saturated branch, thanks to the ordered goal
+    negation).
+    """
+
+    scope: Scope
+    proc: ProcDecl
+    ctx: TranslationContext
+    entry_store: Term
+    owner_exclusion: bool = True
+    obligations: "List[ObligationInfo]" = None
+
+    def __post_init__(self):
+        if self.obligations is None:
+            self.obligations = []
+
+    @property
+    def self_modifies(self) -> Tuple[Designator, ...]:
+        return self.proc.modifies
+
+    @property
+    def self_env(self) -> Dict[str, Term]:
+        return {p: self.ctx.env[p] for p in self.proc.params}
+
+    def obligation(self, kind: str, description: str, formula: Formula) -> Formula:
+        """Tag ``formula`` as a numbered proof obligation."""
+        from repro.logic.terms import IntLit, Pred
+
+        from repro.logic.terms import And
+
+        ident = len(self.obligations)
+        self.obligations.append(ObligationInfo(ident, kind, description))
+        marker = Pred(OBLIGATION_MARKER, (IntLit(ident),))
+        # A raw And, not conj(): folding must not absorb the marker when
+        # the obligation is literally false (e.g. `assert false`).
+        return And((marker, formula))
+
+
+def wlp(cmd: Cmd, post: Formula, wctx: WlpContext) -> Formula:
+    """``wlp_{w,$0}(cmd, post)`` with the current store as free ``$``.
+
+    Every command that evaluates expressions is guarded by the blocking
+    well-definedness assumption of those expressions (dereferenced values
+    are non-null and allocated) — see ``welldef_premises``.
+    """
+    store = store_var()
+    if isinstance(cmd, Assert):
+        where = f"assert {cmd.condition}" + (
+            f" at {cmd.position}" if cmd.position else ""
+        )
+        tagged = wctx.obligation(
+            "assert", where, tr_formula(cmd.condition, store, wctx.ctx)
+        )
+        core = conj((tagged, post))
+        return _guard((cmd.condition,), core, wctx)
+    if isinstance(cmd, Assume):
+        core = Implies(tr_formula(cmd.condition, store, wctx.ctx), post)
+        return _guard((cmd.condition,), core, wctx)
+    if isinstance(cmd, Skip):
+        return post
+    if isinstance(cmd, VarCmd):
+        saved = wctx.ctx.env.get(cmd.name)
+        wctx.ctx.env[cmd.name] = Var(cmd.name)
+        body = wlp(cmd.body, post, wctx)
+        if saved is None:
+            del wctx.ctx.env[cmd.name]
+        else:  # pragma: no cover - shadowing is rejected by well-formedness
+            wctx.ctx.env[cmd.name] = saved
+        return Forall((cmd.name,), body)
+    if isinstance(cmd, Seq):
+        return wlp(cmd.first, wlp(cmd.second, post, wctx), wctx)
+    if isinstance(cmd, Choice):
+        return conj((wlp(cmd.left, post, wctx), wlp(cmd.right, post, wctx)))
+    if isinstance(cmd, Assign):
+        return _wlp_assign(cmd, post, wctx)
+    if isinstance(cmd, AssignNew):
+        return _wlp_assign_new(cmd, post, wctx)
+    if isinstance(cmd, Call):
+        return _wlp_call(cmd, post, wctx)
+    raise VerificationError(f"wlp undefined for {cmd!r}")
+
+
+def _guard(exprs, core: Formula, wctx: WlpContext) -> Formula:
+    """Wrap ``core`` in the well-definedness assumption of ``exprs``."""
+    premise = welldef_premises(exprs, store_var(), wctx.ctx)
+    if isinstance(premise, TrueF):
+        return core
+    return Implies(premise, core)
+
+
+def _target_var_name(target) -> str:
+    assert isinstance(target, Id)
+    return target.name
+
+
+def _wlp_assign(cmd: Assign, post: Formula, wctx: WlpContext) -> Formula:
+    store = store_var()
+    rhs = tr_term(cmd.rhs, store, wctx.ctx)
+    if isinstance(cmd.target, Id):
+        core = subst_formula(post, {_target_var_name(cmd.target): rhs})
+        return _guard((cmd.rhs,), core, wctx)
+    assert isinstance(cmd.target, FieldAccess)
+    obj = tr_term(cmd.target.obj, store, wctx.ctx)
+    attr = attr_const(cmd.target.attr)
+    licence = wctx.obligation(
+        "write-licence",
+        f"write to {cmd.target}" + (f" at {cmd.position}" if cmd.position else ""),
+        mod_formula(obj, attr, wctx.self_modifies, wctx.self_env, wctx.entry_store),
+    )
+    updated = subst_formula(post, {"$": upd(store, obj, attr, rhs)})
+    # Guard on the whole target: writing t.f dereferences t.
+    return _guard((cmd.target, cmd.rhs), conj((licence, updated)), wctx)
+
+
+def _wlp_assign_new(cmd: AssignNew, post: Formula, wctx: WlpContext) -> Formula:
+    store = store_var()
+    if isinstance(cmd.target, Id):
+        mapping = {
+            _target_var_name(cmd.target): new(store),
+            "$": succ(store),
+        }
+        return subst_formula(post, mapping)
+    assert isinstance(cmd.target, FieldAccess)
+    obj = tr_term(cmd.target.obj, store, wctx.ctx)
+    attr = attr_const(cmd.target.attr)
+    licence = wctx.obligation(
+        "write-licence",
+        f"allocation into {cmd.target}"
+        + (f" at {cmd.position}" if cmd.position else ""),
+        mod_formula(obj, attr, wctx.self_modifies, wctx.self_env, wctx.entry_store),
+    )
+    updated = subst_formula(
+        post, {"$": upd(succ(store), obj, attr, new(store))}
+    )
+    return _guard((cmd.target,), conj((licence, updated)), wctx)
+
+
+def _wlp_call(cmd: Call, post: Formula, wctx: WlpContext) -> Formula:
+    """Figure 3: caller licence, owner exclusion, and the frame quantifier."""
+    store = store_var()
+    callee = wctx.scope.proc(cmd.proc)
+    if callee is None:
+        raise VerificationError(f"call to undeclared procedure {cmd.proc!r}")
+    actuals = [tr_term(arg, store, wctx.ctx) for arg in cmd.args]
+    callee_env: Dict[str, Term] = dict(zip(callee.params, actuals))
+    conjuncts: List[Formula] = []
+
+    # 1. Everything the callee may touch, the caller must be allowed to
+    #    touch: mod(tr(E)·f, w, $0) for each E.f in ws.
+    where = f"call {cmd.proc}" + (f" at {cmd.position}" if cmd.position else "")
+    for designator in callee.modifies:
+        owner = tr_designator_prefix(designator, callee_env, store)
+        conjuncts.append(
+            wctx.obligation(
+                "call-licence",
+                f"{where}: callee may modify {designator}",
+                mod_formula(
+                    owner,
+                    attr_const(designator.attr),
+                    wctx.self_modifies,
+                    wctx.self_env,
+                    wctx.entry_store,
+                ),
+            )
+        )
+
+    # 2. Owner exclusion for every actual parameter, in the current store.
+    if wctx.owner_exclusion:
+        for index, actual in enumerate(actuals):
+            own = own_excl_formula(
+                actual, callee.modifies, callee_env, store, wctx.ctx.fresh
+            )
+            if not isinstance(own, TrueF):
+                conjuncts.append(
+                    wctx.obligation(
+                        "owner-exclusion",
+                        f"{where}: argument #{index + 1} ({cmd.args[index]})",
+                        own,
+                    )
+                )
+
+    # 3. The frame: allocation grows monotonically and every surviving
+    #    location is unchanged or covered by the callee's modifies list.
+    fresh = wctx.ctx.fresh
+    post_store = Var(fresh.fresh("$post"))
+    obj_var = Var(fresh.fresh("frX"))
+    attr_var = Var(fresh.fresh("frF"))
+    alive_frame = Forall(
+        (obj_var.name,),
+        Implies(alive(store, obj_var), alive(post_store, obj_var)),
+        (
+            (alive_t(store, obj_var),),
+            (alive_t(post_store, obj_var),),
+        ),
+        "call-frame-alive",
+        1,
+    )
+    sel_frame = Forall(
+        (obj_var.name, attr_var.name),
+        disj(
+            (
+                Eq(
+                    sel(store, obj_var, attr_var),
+                    sel(post_store, obj_var, attr_var),
+                ),
+                mod_formula(
+                    obj_var, attr_var, callee.modifies, callee_env, store
+                ),
+            )
+        ),
+        (
+            (App(SEL, (post_store, obj_var, attr_var)),),
+            (App(SEL, (store, obj_var, attr_var)),),
+        ),
+        "call-frame-sel",
+        3,
+    )
+    shifted_post = subst_formula(post, {"$": post_store})
+    conjuncts.append(
+        Forall(
+            (post_store.name,),
+            Implies(conj((alive_frame, sel_frame)), shifted_post),
+        )
+    )
+    return _guard(cmd.args, conj(conjuncts), wctx)

@@ -1,0 +1,80 @@
+"""Tests for the high-level package API and report objects."""
+
+import pytest
+
+from repro import CheckReport, check_program, parse_program
+from repro.errors import ParseError, WellFormednessError
+from repro.prover.core import Limits
+from repro.vcgen.checker import ImplStatus
+
+LIMITS = Limits(time_budget=60.0)
+
+
+class TestParseProgram:
+    def test_returns_validated_scope(self):
+        scope = parse_program("group g\nfield f in g")
+        assert scope.is_group("g")
+
+    def test_rejects_syntax_errors(self):
+        with pytest.raises(ParseError):
+            parse_program("group")
+
+    def test_rejects_ill_formed(self):
+        with pytest.raises(WellFormednessError):
+            parse_program("field f in nowhere")
+
+
+class TestCheckProgram:
+    GOOD = """
+    group g
+    field f in g
+    proc p(t) modifies t.g
+    impl p(t) { assume t != null ; t.f := 1 }
+    """
+
+    def test_ok_report(self):
+        report = check_program(self.GOOD, LIMITS)
+        assert report.ok
+        assert isinstance(report, CheckReport)
+        assert report.elapsed > 0
+
+    def test_verdict_lookup_by_name(self):
+        report = check_program(self.GOOD, LIMITS)
+        assert report.verdict_for("p").status is ImplStatus.VERIFIED
+        assert report.verdict_for("missing") is None
+
+    def test_verdict_lookup_by_index(self):
+        source = self.GOOD + "\nimpl p(t) { skip }"
+        report = check_program(source, LIMITS)
+        assert report.verdict_for("p", 0) is not None
+        assert report.verdict_for("p", 1) is not None
+        assert report.verdict_for("p", 2) is None
+
+    def test_describe_lists_every_impl(self):
+        source = self.GOOD + "\nimpl p(t) { skip }"
+        text = check_program(source, LIMITS).describe()
+        assert "p#0" in text and "p#1" in text
+        assert text.endswith("OK")
+
+    def test_lazy_attribute_error(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.not_a_real_symbol
+
+    def test_version_present(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_report_not_ok_on_any_failure(self):
+        source = self.GOOD + "\nproc q(t)\nimpl q(t) { assert false }"
+        report = check_program(source, LIMITS)
+        assert not report.ok
+        assert report.verdict_for("p").ok
+        assert not report.verdict_for("q").ok
+
+    def test_empty_program_is_ok(self):
+        report = check_program("", LIMITS)
+        assert report.ok
+        assert report.verdicts == []

@@ -1,0 +1,210 @@
+"""Direct tests of the background predicates: each axiom proves what it
+should and nothing it shouldn't, via small hand-built queries."""
+
+import pytest
+
+from repro.logic.terms import (
+    And,
+    Const,
+    Eq,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    TrueF,
+    conj,
+    neq,
+)
+from repro.oolong.program import Scope
+from repro.prover.core import Limits, prove_valid
+from repro.vcgen.background import scope_background, universal_background
+from repro.vcgen.vocab import (
+    NULL,
+    alive,
+    attr_const,
+    inc,
+    linc,
+    new,
+    rinc,
+    sel,
+    succ,
+    upd,
+)
+
+LIMITS = Limits(time_budget=30.0)
+
+S0 = Const("$0")
+x, y, v = Const("x"), Const("y"), Const("v")
+
+
+def valid(axioms, goal):
+    return prove_valid(list(axioms), goal, LIMITS).valid
+
+
+STACK = Scope.from_source(
+    """
+    group contents
+    group elems
+    field cnt in elems
+    field data in elems
+    field vec in contents maps elems into contents
+    field plain
+    """
+)
+
+
+def stack_axioms():
+    return universal_background() + scope_background(STACK)
+
+
+class TestStoreAxioms:
+    def test_select_over_update_same(self):
+        goal = Eq(sel(upd(S0, x, attr_const("cnt"), v), x, attr_const("cnt")), v)
+        assert valid(universal_background(), goal)
+
+    def test_select_over_update_other_field(self):
+        axioms = stack_axioms()
+        goal = Eq(
+            sel(upd(S0, x, attr_const("cnt"), v), x, attr_const("data")),
+            sel(S0, x, attr_const("data")),
+        )
+        assert valid(axioms, goal)
+
+    def test_select_over_update_other_object(self):
+        axioms = stack_axioms() + [neq(x, y)]
+        goal = Eq(
+            sel(upd(S0, x, attr_const("cnt"), v), y, attr_const("cnt")),
+            sel(S0, y, attr_const("cnt")),
+        )
+        assert valid(axioms, goal)
+
+    def test_update_does_not_leak_to_same_slot_without_info(self):
+        # Without x != y, the value may or may not be overwritten.
+        axioms = stack_axioms()
+        goal = Eq(
+            sel(upd(S0, x, attr_const("cnt"), v), y, attr_const("cnt")),
+            sel(S0, y, attr_const("cnt")),
+        )
+        assert not valid(axioms, goal)
+
+    def test_allocation_axioms(self):
+        ubp = universal_background()
+        assert valid(ubp, Not(alive(S0, new(S0))))
+        assert valid(ubp, alive(succ(S0), new(S0)))
+        assert valid(ubp, Implies(alive(S0, x), alive(succ(S0), x)))
+        assert valid(ubp, Eq(sel(succ(S0), x, attr_const("cnt")), sel(S0, x, attr_const("cnt"))))
+
+    def test_new_object_is_not_null(self):
+        assert valid(universal_background(), neq(new(S0), NULL))
+
+    def test_unallocated_fields_are_null(self):
+        ubp = universal_background()
+        goal = Implies(
+            Not(alive(S0, x)), Eq(sel(S0, x, attr_const("cnt")), NULL)
+        )
+        assert valid(ubp, goal)
+
+    def test_fresh_object_fields_are_null(self):
+        ubp = universal_background()
+        goal = Eq(sel(succ(S0), new(S0), attr_const("cnt")), NULL)
+        assert valid(ubp, goal)
+
+
+class TestScopeAxioms:
+    def test_local_inclusion_facts(self):
+        axioms = stack_axioms()
+        assert valid(axioms, linc(attr_const("elems"), attr_const("cnt")))
+        assert valid(axioms, linc(attr_const("cnt"), attr_const("cnt")))
+
+    def test_local_inclusion_completeness(self):
+        axioms = stack_axioms()
+        assert valid(axioms, Not(linc(attr_const("contents"), attr_const("plain"))))
+        assert valid(axioms, Not(linc(attr_const("elems"), attr_const("plain"))))
+
+    def test_rep_inclusion_facts(self):
+        axioms = stack_axioms()
+        assert valid(
+            axioms,
+            rinc(attr_const("vec"), attr_const("contents"), attr_const("elems")),
+        )
+
+    def test_rep_inclusion_completeness(self):
+        axioms = stack_axioms()
+        assert valid(
+            axioms,
+            Not(rinc(attr_const("cnt"), attr_const("contents"), attr_const("elems"))),
+        )
+        assert valid(
+            axioms,
+            Not(rinc(attr_const("vec"), attr_const("elems"), attr_const("cnt"))),
+        )
+
+    def test_attribute_distinctness(self):
+        axioms = stack_axioms()
+        assert valid(axioms, neq(attr_const("cnt"), attr_const("data")))
+
+    def test_fields_are_local_leaves(self):
+        axioms = stack_axioms()
+        goal = Implies(linc(attr_const("cnt"), Const("someattr")), Eq(Const("someattr"), attr_const("cnt")))
+        assert valid(axioms, goal)
+
+    def test_nothing_maps_into_fields(self):
+        axioms = stack_axioms()
+        goal = Not(rinc(Const("somefield"), attr_const("cnt"), Const("someattr")))
+        assert valid(axioms, goal)
+
+
+class TestInclusionAxioms:
+    def test_local_inclusion_lifts_to_inc(self):
+        axioms = stack_axioms()
+        goal = inc(S0, x, attr_const("elems"), x, attr_const("cnt"))
+        assert valid(axioms, goal)
+
+    def test_rep_step_through_pivot(self):
+        axioms = stack_axioms()
+        vec_val = sel(S0, x, attr_const("vec"))
+        hypotheses = [neq(x, vec_val)]
+        goal = inc(S0, x, attr_const("contents"), vec_val, attr_const("cnt"))
+        assert valid(axioms + hypotheses, goal)
+
+    def test_unrelated_groups_not_included(self):
+        axioms = stack_axioms()
+        goal = Not(inc(S0, x, attr_const("elems"), x, attr_const("plain")))
+        assert valid(axioms, goal)
+
+    def test_no_cycle_axiom(self):
+        axioms = stack_axioms()
+        vec_val = sel(S0, x, attr_const("vec"))
+        hypotheses = [neq(vec_val, NULL)]
+        goal = Not(inc(S0, vec_val, attr_const("elems"), x, attr_const("contents")))
+        assert valid(axioms + hypotheses, goal)
+
+    def test_pivot_uniqueness_axiom(self):
+        axioms = stack_axioms()
+        vec_x = sel(S0, x, attr_const("vec"))
+        vec_y = sel(S0, y, attr_const("vec"))
+        hypotheses = [neq(vec_x, NULL), Eq(vec_x, vec_y)]
+        assert valid(axioms + hypotheses, Eq(x, y))
+
+    def test_pivot_value_differs_from_other_fields(self):
+        axioms = stack_axioms()
+        vec_x = sel(S0, x, attr_const("vec"))
+        plain_y = sel(S0, y, attr_const("plain"))
+        hypotheses = [neq(vec_x, NULL)]
+        assert valid(axioms + hypotheses, neq(vec_x, plain_y))
+
+    def test_null_groups_include_only_null_locations(self):
+        axioms = stack_axioms()
+        hypotheses = [neq(y, NULL)]
+        goal = Not(inc(S0, NULL, attr_const("contents"), y, attr_const("cnt")))
+        assert valid(axioms + hypotheses, goal)
+
+    def test_fresh_object_not_included_in_old_group(self):
+        # The crux of EX-3.0's proof: a just-allocated object's locations
+        # cannot be part of any existing object's groups.
+        axioms = stack_axioms()
+        hypotheses = [alive(S0, x), neq(x, new(S0))]
+        goal = Not(inc(S0, x, attr_const("contents"), new(S0), attr_const("cnt")))
+        assert valid(axioms + hypotheses, goal)

@@ -1,0 +1,162 @@
+"""Tests for the three baseline analyses."""
+
+import pytest
+
+from repro.api import parse_program
+from repro.baselines.naive_modular import naive_check_scope
+from repro.baselines.regions import check_single_region
+from repro.baselines.whole_program import frame_query, infer_effects
+from repro.oolong.program import Scope
+from repro.prover.core import Limits
+
+LIMITS = Limits(time_budget=120.0)
+
+
+class TestWholeProgramInference:
+    SOURCE = """
+    field f
+    field g
+    field h
+    proc leaf(t)
+    impl leaf(t) { assume t != null ; t.f := 1 }
+    proc middle(t)
+    impl middle(t) { leaf(t) ; t.g := 2 }
+    proc top(t)
+    impl top(t) { middle(t) }
+    proc silent(t)
+    impl silent(t) { skip }
+    """
+
+    def test_direct_writes(self):
+        table = infer_effects(Scope.from_source(self.SOURCE))
+        assert table.writes("leaf") == {"f"}
+
+    def test_transitive_writes(self):
+        table = infer_effects(Scope.from_source(self.SOURCE))
+        assert table.writes("middle") == {"f", "g"}
+        assert table.writes("top") == {"f", "g"}
+
+    def test_silent_proc_has_no_effects(self):
+        table = infer_effects(Scope.from_source(self.SOURCE))
+        assert table.writes("silent") == frozenset()
+        assert table.whole_program
+
+    def test_frame_queries(self):
+        table = infer_effects(Scope.from_source(self.SOURCE))
+        assert frame_query(table, "leaf", "g")
+        assert not frame_query(table, "leaf", "f")
+        assert not frame_query(table, "top", "f")
+        assert frame_query(table, "top", "h")
+
+    def test_missing_impl_defaults_to_top_effect(self):
+        source = """
+        field f
+        field g
+        proc opaque(t)
+        proc caller(t)
+        impl caller(t) { opaque(t) }
+        """
+        table = infer_effects(Scope.from_source(source))
+        assert not table.whole_program
+        assert table.writes("opaque") == {"f", "g"}
+        assert table.writes("caller") == {"f", "g"}
+
+    def test_object_insensitivity_is_the_precision_gap(self):
+        # One write to cnt anywhere spoils every x.cnt query — whereas the
+        # data-group checker proves q's v.cnt preserved across push.
+        source = """
+        field cnt
+        proc push(st, o)
+        impl push(st, o) { assume st != null ; st.cnt := 1 }
+        """
+        table = infer_effects(Scope.from_source(source))
+        assert not frame_query(table, "push", "cnt")
+
+    def test_recursive_procedures_reach_fixpoint(self):
+        source = """
+        field f
+        proc even(t)
+        proc odd(t)
+        impl even(t) { odd(t) }
+        impl odd(t) { assume t != null ; t.f := 1 ; even(t) }
+        """
+        table = infer_effects(Scope.from_source(source))
+        assert table.writes("even") == {"f"}
+        assert table.writes("odd") == {"f"}
+
+
+class TestRegionsBaseline:
+    def test_single_region_accepted(self):
+        scope = Scope.from_source("group r\nfield f in r")
+        assert check_single_region(scope) == []
+
+    def test_field_in_two_groups_rejected(self):
+        scope = Scope.from_source("group a\ngroup b\nfield f in a, b")
+        (violation,) = check_single_region(scope)
+        assert violation.attribute == "f"
+        assert set(violation.regions) == {"a", "b"}
+
+    def test_group_in_two_groups_rejected(self):
+        scope = Scope.from_source("group a\ngroup b\ngroup c in a, b")
+        (violation,) = check_single_region(scope)
+        assert violation.attribute == "c"
+
+    def test_maps_into_two_groups_rejected(self):
+        scope = Scope.from_source(
+            "group a\ngroup b\nfield x\nfield f maps x into a, b"
+        )
+        (violation,) = check_single_region(scope)
+        assert violation.attribute == "f.x"
+
+    def test_data_groups_accept_what_regions_reject(self):
+        # The paper's Section 1 point: multi-group membership is useful and
+        # verifiable with data groups.
+        from repro.api import check_program
+
+        source = """
+        group position
+        group appearance
+        field x in position
+        field color in appearance
+        field z in position, appearance
+        proc move(t) modifies t.position
+        impl move(t) { assume t != null ; t.x := 1 ; t.z := 2 }
+        proc paint(t) modifies t.appearance
+        impl paint(t) { assume t != null ; t.color := 1 ; t.z := 2 }
+        """
+        scope = parse_program(source)
+        assert check_single_region(scope)  # regions say no
+        report = check_program(source, LIMITS)
+        assert report.ok, report.describe()  # data groups say yes
+
+
+class TestNaiveBaseline:
+    def test_honest_programs_still_verify(self):
+        from repro.corpus.programs import RATIONAL
+
+        report = naive_check_scope(parse_program(RATIONAL), LIMITS)
+        assert report.ok
+
+    def test_never_reports_pivot_violations(self):
+        from repro.corpus.programs import SECTION3_CLIENT, SECTION3_LEAKING_M
+
+        scope = parse_program(SECTION3_CLIENT + SECTION3_LEAKING_M)
+        report = naive_check_scope(scope, LIMITS)
+        assert report.pivot_violations == []
+
+    def test_accepts_owner_exclusion_violation(self):
+        from repro.corpus.programs import SECTION3_OWNER_BAD_CALL, SECTION3_W
+
+        scope = parse_program(SECTION3_W + SECTION3_OWNER_BAD_CALL)
+        report = naive_check_scope(scope, LIMITS)
+        assert report.verdict_for("bad").ok
+
+    def test_still_rejects_plain_licence_violations(self):
+        source = """
+        group g
+        field f
+        proc p(t) modifies t.g
+        impl p(t) { assume t != null ; t.f := 1 }
+        """
+        report = naive_check_scope(parse_program(source), LIMITS)
+        assert not report.ok

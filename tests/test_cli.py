@@ -1,0 +1,96 @@
+"""Tests for the oolong-check command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.corpus.programs import RATIONAL, SECTION3_CLIENT, SECTION3_LEAKING_M
+
+
+@pytest.fixture
+def write_source(tmp_path):
+    def write(name, content):
+        path = tmp_path / name
+        path.write_text(content)
+        return str(path)
+
+    return write
+
+
+class TestArguments:
+    def test_requires_files(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["x.oolong"])
+        assert args.time_budget == 30.0
+        assert not args.no_restrictions
+        assert not args.stats
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["--time-budget", "5", "--stats", "--no-restrictions", "a", "b"]
+        )
+        assert args.time_budget == 5.0
+        assert args.stats and args.no_restrictions
+        assert args.files == ["a", "b"]
+
+
+class TestExitCodes:
+    def test_ok_program_exits_zero(self, write_source, capsys):
+        path = write_source("good.oolong", RATIONAL)
+        assert main([path]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out and "OK" in out
+
+    def test_failing_program_exits_one(self, write_source, capsys):
+        source = """
+        field f
+        proc p(t)
+        impl p(t) { assume t != null ; t.f := 1 }
+        """
+        path = write_source("bad.oolong", source)
+        assert main([path]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_restriction_violation_reported(self, write_source, capsys):
+        client = write_source("client.oolong", SECTION3_CLIENT)
+        private = write_source("private.oolong", SECTION3_LEAKING_M)
+        code = main([client, private, "--time-budget", "60"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "restriction violation" in out
+
+    def test_no_restrictions_flag_skips_pivot_pass(self, write_source, capsys):
+        client = write_source("client.oolong", SECTION3_CLIENT)
+        private = write_source("private.oolong", SECTION3_LEAKING_M)
+        main([client, private, "--no-restrictions", "--time-budget", "60"])
+        out = capsys.readouterr().out
+        assert "restriction violation" not in out
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["/nonexistent/path.oolong"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_parse_error_exits_two(self, write_source, capsys):
+        path = write_source("broken.oolong", "group group group")
+        assert main([path]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_ill_formed_exits_two(self, write_source, capsys):
+        path = write_source("illformed.oolong", "field f in missing")
+        assert main([path]) == 2
+
+    def test_stats_flag_prints_counters(self, write_source, capsys):
+        path = write_source("good.oolong", RATIONAL)
+        main([path, "--stats"])
+        out = capsys.readouterr().out
+        assert "instances=" in out and "branches=" in out
+
+    def test_multiple_files_concatenate(self, write_source, capsys):
+        a = write_source("a.oolong", "group value\nproc normalize(r) modifies r.value")
+        b = write_source(
+            "b.oolong",
+            "field num in value\nimpl normalize(r) { assume r != null ; r.num := 1 }",
+        )
+        assert main([a, b, "--time-budget", "60"]) == 0

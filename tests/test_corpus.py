@@ -1,0 +1,88 @@
+"""Sanity tests over the corpus: every program parses, is well-formed,
+round-trips, and the generators scale as advertised."""
+
+import pytest
+
+from repro.corpus.generators import (
+    generate_call_chain,
+    generate_deep_groups,
+    generate_pivot_tower,
+    generate_wide_scope,
+)
+from repro.corpus.programs import (
+    PAPER_PROGRAMS,
+    SECTION3_CLIENT,
+    SECTION3_CLIENT_INIT,
+    SECTION3_HONEST_IMPLS,
+    SECTION3_LEAKING_M,
+    SECTION3_OWNER_BAD_CALL,
+    SECTION3_OWNER_DRIVER,
+    SECTION3_UNSOUND_IMPLS,
+    SECTION3_W,
+)
+from repro.oolong.parser import parse_program_text
+from repro.oolong.pretty import pretty_program
+from repro.oolong.program import Scope
+from repro.oolong.wellformed import check_well_formed
+
+COMPOSITES = {
+    "client+leak": SECTION3_CLIENT + SECTION3_LEAKING_M,
+    "client+honest": SECTION3_CLIENT + SECTION3_HONEST_IMPLS,
+    "client-init+unsound": SECTION3_CLIENT_INIT + SECTION3_UNSOUND_IMPLS,
+    "w+bad": SECTION3_W + SECTION3_OWNER_BAD_CALL,
+    "w+bad+driver": SECTION3_W + SECTION3_OWNER_BAD_CALL + SECTION3_OWNER_DRIVER,
+}
+
+
+class TestPaperPrograms:
+    @pytest.mark.parametrize("name", sorted(PAPER_PROGRAMS))
+    def test_well_formed(self, name):
+        scope = Scope.from_source(PAPER_PROGRAMS[name])
+        check_well_formed(scope)
+
+    @pytest.mark.parametrize("name", sorted(PAPER_PROGRAMS))
+    def test_round_trip(self, name):
+        decls = parse_program_text(PAPER_PROGRAMS[name])
+        assert parse_program_text(pretty_program(decls)) == decls
+
+    @pytest.mark.parametrize("name", sorted(COMPOSITES))
+    def test_composites_well_formed(self, name):
+        scope = Scope.from_source(COMPOSITES[name])
+        check_well_formed(scope)
+
+    def test_every_program_has_an_impl(self):
+        for name, source in PAPER_PROGRAMS.items():
+            scope = Scope.from_source(source)
+            assert any(scope.impls_of(p) for p in scope.procs), name
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("size", [0, 1, 5, 25])
+    def test_wide_scope(self, size):
+        scope = Scope.from_source(generate_wide_scope(size))
+        check_well_formed(scope)
+        assert len(scope.fields) == size
+
+    @pytest.mark.parametrize("depth", [1, 3, 10])
+    def test_deep_groups(self, depth):
+        scope = Scope.from_source(generate_deep_groups(depth))
+        check_well_formed(scope)
+        assert scope.enclosing_groups("leaf") == {
+            f"g{level}" for level in range(depth + 1)
+        }
+
+    @pytest.mark.parametrize("depth", [1, 2, 4])
+    def test_pivot_tower(self, depth):
+        scope = Scope.from_source(generate_pivot_tower(depth))
+        check_well_formed(scope)
+        assert len(scope.pivot_fields()) == depth
+
+    @pytest.mark.parametrize("length", [1, 2, 5])
+    def test_call_chain(self, length):
+        scope = Scope.from_source(generate_call_chain(length))
+        check_well_formed(scope)
+        assert len(scope.procs) == length + 1
+
+    def test_generators_are_deterministic(self):
+        assert generate_wide_scope(7) == generate_wide_scope(7)
+        assert generate_pivot_tower(3) == generate_pivot_tower(3)

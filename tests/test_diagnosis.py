@@ -1,0 +1,157 @@
+"""Tests for obligation-failure diagnosis (the "stuck on" reports)."""
+
+import pytest
+
+from repro.api import check_program
+from repro.prover.core import Limits
+
+LIMITS = Limits(time_budget=120.0)
+
+
+def stuck_on(source, impl_name):
+    report = check_program(source, LIMITS)
+    verdict = report.verdict_for(impl_name)
+    assert not verdict.ok, verdict.describe()
+    return verdict.failed_obligation
+
+
+class TestDiagnosisKinds:
+    def test_failing_assert_identified(self):
+        info = stuck_on(
+            """
+            proc p(t)
+            impl p(t) { assert 1 = 2 }
+            """,
+            "p",
+        )
+        assert info is not None
+        assert info.kind == "assert"
+        assert "1 = 2" in info.description
+
+    def test_unlicensed_write_identified(self):
+        info = stuck_on(
+            """
+            group g
+            field outside
+            proc p(t) modifies t.g
+            impl p(t) { assume t != null ; t.outside := 1 }
+            """,
+            "p",
+        )
+        assert info.kind == "write-licence"
+        assert "t.outside" in info.description
+
+    def test_unlicensed_allocation_identified(self):
+        info = stuck_on(
+            """
+            group g
+            field outside
+            proc p(t) modifies t.g
+            impl p(t) { assume t != null ; t.outside := new() }
+            """,
+            "p",
+        )
+        assert info.kind == "write-licence"
+        assert "allocation" in info.description
+
+    def test_call_licence_identified(self):
+        info = stuck_on(
+            """
+            group g
+            group h
+            proc wide(u) modifies u.h
+            proc p(t) modifies t.g
+            impl p(t) { assume t != null ; wide(t) }
+            """,
+            "p",
+        )
+        assert info.kind == "call-licence"
+        assert "wide" in info.description
+
+    def test_owner_exclusion_identified_with_argument(self):
+        info = stuck_on(
+            """
+            group contents
+            field cnt
+            field vec maps cnt into contents
+            proc w(st, v) modifies st.contents
+            impl w(st, v) { skip }
+            proc bad(st) modifies st.contents
+            impl bad(st) {
+              assume st != null ; assume st.vec != null ; w(st, st.vec)
+            }
+            """,
+            "bad",
+        )
+        assert info.kind == "owner-exclusion"
+        assert "st.vec" in info.description
+
+
+class TestDiagnosisOrdering:
+    def test_later_obligation_blamed_not_earlier(self):
+        info = stuck_on(
+            """
+            group g
+            field f in g
+            field outside
+            proc p(t) modifies t.g
+            impl p(t) { assume t != null ; t.f := 1 ; t.outside := 2 }
+            """,
+            "p",
+        )
+        assert "t.outside" in info.description
+
+    def test_earlier_obligation_blamed_when_it_fails(self):
+        info = stuck_on(
+            """
+            group g
+            group h
+            field f in g
+            proc wide(u) modifies u.h
+            proc p(t) modifies t.g
+            impl p(t) { assume t != null ; wide(t) ; t.f := 1 }
+            """,
+            "p",
+        )
+        assert info.kind == "call-licence"
+
+    def test_failure_inside_choice_branch(self):
+        info = stuck_on(
+            """
+            group g
+            field f in g
+            field outside
+            proc p(t) modifies t.g
+            impl p(t) {
+              assume t != null ;
+              ( t.f := 1 [] t.outside := 2 )
+            }
+            """,
+            "p",
+        )
+        assert "t.outside" in info.description
+
+    def test_verified_impl_has_no_diagnosis(self):
+        report = check_program(
+            """
+            group g
+            field f in g
+            proc p(t) modifies t.g
+            impl p(t) { assume t != null ; t.f := 1 }
+            """,
+            LIMITS,
+        )
+        verdict = report.verdict_for("p")
+        assert verdict.ok
+        assert verdict.failed_obligation is None
+
+    def test_describe_includes_diagnosis(self):
+        report = check_program(
+            """
+            proc p(t)
+            impl p(t) { assert false }
+            """,
+            LIMITS,
+        )
+        text = report.verdict_for("p").describe()
+        assert "stuck on" in text

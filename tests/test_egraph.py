@@ -1,0 +1,215 @@
+"""Unit tests for the E-graph (congruence closure, trail, folding)."""
+
+from repro.logic.terms import App, Const, IntLit
+from repro.prover.egraph import EGraph
+
+a, b, c, d = Const("a"), Const("b"), Const("c"), Const("d")
+
+
+def f(*args):
+    return App("f", args)
+
+
+def g(*args):
+    return App("g", args)
+
+
+class TestInterning:
+    def test_same_term_same_node(self):
+        eg = EGraph()
+        assert eg.intern(a) == eg.intern(a)
+        assert eg.intern(f(a, b)) == eg.intern(f(a, b))
+
+    def test_distinct_terms_distinct_nodes(self):
+        eg = EGraph()
+        assert eg.intern(a) != eg.intern(b)
+        assert eg.intern(f(a)) != eg.intern(g(a))
+
+    def test_int_literals(self):
+        eg = EGraph()
+        three = eg.intern(IntLit(3))
+        assert eg.int_value_of(three) == 3
+        assert eg.intern(IntLit(3)) == three
+
+
+class TestCongruence:
+    def test_basic_congruence(self):
+        eg = EGraph()
+        fa, fb = eg.intern(f(a)), eg.intern(f(b))
+        assert not eg.are_equal(fa, fb)
+        assert eg.assert_eq(eg.intern(a), eg.intern(b))
+        assert eg.are_equal(fa, fb)
+
+    def test_congruence_is_transitive_through_nesting(self):
+        eg = EGraph()
+        ffa, ffb = eg.intern(f(f(a))), eg.intern(f(f(b)))
+        eg.assert_eq(eg.intern(a), eg.intern(b))
+        assert eg.are_equal(ffa, ffb)
+
+    def test_congruence_on_intern_after_merge(self):
+        eg = EGraph()
+        eg.assert_eq(eg.intern(a), eg.intern(b))
+        fa = eg.intern(f(a))
+        fb = eg.intern(f(b))  # interned after the merge
+        assert eg.are_equal(fa, fb)
+
+    def test_multi_arg_congruence(self):
+        eg = EGraph()
+        n1 = eg.intern(f(a, c))
+        n2 = eg.intern(f(b, d))
+        eg.assert_eq(eg.intern(a), eg.intern(b))
+        assert not eg.are_equal(n1, n2)
+        eg.assert_eq(eg.intern(c), eg.intern(d))
+        assert eg.are_equal(n1, n2)
+
+
+class TestDisequality:
+    def test_diseq_then_eq_conflicts(self):
+        eg = EGraph()
+        assert eg.assert_diseq(eg.intern(a), eg.intern(b))
+        assert not eg.assert_eq(eg.intern(a), eg.intern(b))
+        assert eg.in_conflict
+
+    def test_eq_then_diseq_conflicts(self):
+        eg = EGraph()
+        assert eg.assert_eq(eg.intern(a), eg.intern(b))
+        assert not eg.assert_diseq(eg.intern(a), eg.intern(b))
+
+    def test_congruence_triggers_diseq_conflict(self):
+        eg = EGraph()
+        eg.assert_diseq(eg.intern(f(a)), eg.intern(f(b)))
+        assert not eg.assert_eq(eg.intern(a), eg.intern(b))
+
+    def test_are_diseq_via_int_values(self):
+        eg = EGraph()
+        assert eg.are_diseq(eg.intern(IntLit(1)), eg.intern(IntLit(2)))
+
+    def test_int_merge_conflict(self):
+        eg = EGraph()
+        assert not eg.assert_eq(eg.intern(IntLit(1)), eg.intern(IntLit(2)))
+
+
+class TestTruth:
+    def test_true_false_distinct(self):
+        eg = EGraph()
+        assert eg.truth(eg.TRUE) is True
+        assert eg.truth(eg.FALSE) is False
+
+    def test_atom_unknown_then_true(self):
+        eg = EGraph()
+        atom = eg.intern(App("P", (a,)))
+        assert eg.truth(atom) is None
+        eg.assert_eq(atom, eg.TRUE)
+        assert eg.truth(atom) is True
+
+
+class TestFolding:
+    def test_addition_folds(self):
+        eg = EGraph()
+        total = eg.intern(App("+", (IntLit(1), IntLit(2))))
+        assert eg.int_value_of(total) == 3
+
+    def test_fold_after_merge(self):
+        eg = EGraph()
+        total = eg.intern(App("+", (a, IntLit(2))))
+        assert eg.int_value_of(total) is None
+        eg.assert_eq(eg.intern(a), eg.intern(IntLit(1)))
+        assert eg.int_value_of(total) == 3
+
+    def test_comparison_folds_to_truth(self):
+        eg = EGraph()
+        lt = eg.intern(App("<", (IntLit(1), IntLit(2))))
+        assert eg.truth(lt) is True
+        ge = eg.intern(App(">=", (IntLit(1), IntLit(2))))
+        assert eg.truth(ge) is False
+
+    def test_fold_conflict_detected(self):
+        eg = EGraph()
+        total = eg.intern(App("+", (IntLit(1), IntLit(2))))
+        assert not eg.assert_eq(total, eg.intern(IntLit(5)))
+
+
+class TestBacktracking:
+    def test_pop_undoes_merge(self):
+        eg = EGraph()
+        na, nb = eg.intern(a), eg.intern(b)
+        mark = eg.push()
+        eg.assert_eq(na, nb)
+        assert eg.are_equal(na, nb)
+        eg.pop(mark)
+        assert not eg.are_equal(na, nb)
+
+    def test_pop_undoes_congruence(self):
+        eg = EGraph()
+        fa, fb = eg.intern(f(a)), eg.intern(f(b))
+        mark = eg.push()
+        eg.assert_eq(eg.intern(a), eg.intern(b))
+        assert eg.are_equal(fa, fb)
+        eg.pop(mark)
+        assert not eg.are_equal(fa, fb)
+
+    def test_pop_undoes_conflict(self):
+        eg = EGraph()
+        eg.assert_diseq(eg.intern(a), eg.intern(b))
+        mark = eg.push()
+        eg.assert_eq(eg.intern(a), eg.intern(b))
+        assert eg.in_conflict
+        eg.pop(mark)
+        assert not eg.in_conflict
+
+    def test_nodes_survive_pop(self):
+        eg = EGraph()
+        mark = eg.push()
+        node = eg.intern(f(a))
+        eg.pop(mark)
+        assert eg.intern(f(a)) == node
+        assert not eg.in_conflict
+
+    def test_nested_push_pop(self):
+        eg = EGraph()
+        na, nb, nc = eg.intern(a), eg.intern(b), eg.intern(c)
+        m1 = eg.push()
+        eg.assert_eq(na, nb)
+        m2 = eg.push()
+        eg.assert_eq(nb, nc)
+        assert eg.are_equal(na, nc)
+        eg.pop(m2)
+        assert eg.are_equal(na, nb)
+        assert not eg.are_equal(na, nc)
+        eg.pop(m1)
+        assert not eg.are_equal(na, nb)
+
+    def test_merge_after_pop_works(self):
+        eg = EGraph()
+        na, nb = eg.intern(a), eg.intern(b)
+        mark = eg.push()
+        eg.assert_eq(na, nb)
+        eg.pop(mark)
+        assert eg.assert_eq(na, nb)
+        assert eg.are_equal(na, nb)
+
+
+class TestIntrospection:
+    def test_apps_with_head(self):
+        eg = EGraph()
+        n1, n2 = eg.intern(f(a)), eg.intern(f(b))
+        eg.intern(g(a))
+        assert set(eg.apps_with_head("f")) == {n1, n2}
+
+    def test_class_members_after_merge(self):
+        eg = EGraph()
+        na, nb = eg.intern(a), eg.intern(b)
+        eg.assert_eq(na, nb)
+        assert set(eg.class_members(na)) == {na, nb}
+
+    def test_class_apps_with_head(self):
+        eg = EGraph()
+        fa = eg.intern(f(a))
+        nc = eg.intern(c)
+        eg.assert_eq(fa, nc)
+        assert set(eg.class_apps_with_head(nc, "f")) == {fa}
+
+    def test_term_of_round_trip(self):
+        eg = EGraph()
+        node = eg.intern(f(a, g(b)))
+        assert eg.term_of(node) == f(a, g(b))

@@ -1,0 +1,113 @@
+"""Tests for the runtime inclusion-closure computation."""
+
+from repro.oolong.program import Scope
+from repro.semantics.inclusion import included_locations, location_covered
+from repro.semantics.store import ObjRef, RuntimeStore
+
+
+def setup_stack():
+    scope = Scope.from_source(
+        """
+        group contents
+        group elems
+        field cnt in elems
+        field data in elems
+        field vec in contents maps elems into contents
+        field other
+        """
+    )
+    store = RuntimeStore()
+    stack, vector = store.allocate(), store.allocate()
+    store.write(stack, "vec", vector)
+    return scope, store, stack, vector
+
+
+class TestLocalInclusions:
+    def test_group_covers_included_fields(self):
+        scope = Scope.from_source("group g\nfield a in g\nfield b in g\nfield c")
+        store = RuntimeStore()
+        obj = store.allocate()
+        covered = included_locations(scope, store, obj, "g")
+        assert (obj, "a") in covered
+        assert (obj, "b") in covered
+        assert (obj, "c") not in covered
+
+    def test_reflexive(self):
+        scope = Scope.from_source("field f")
+        store = RuntimeStore()
+        obj = store.allocate()
+        assert (obj, "f") in included_locations(scope, store, obj, "f")
+
+    def test_transitive_groups(self):
+        scope = Scope.from_source(
+            "group outer\ngroup inner in outer\nfield f in inner"
+        )
+        store = RuntimeStore()
+        obj = store.allocate()
+        covered = included_locations(scope, store, obj, "outer")
+        assert (obj, "f") in covered
+        assert (obj, "inner") in covered
+
+    def test_field_covers_only_itself(self):
+        scope = Scope.from_source("group g\nfield f in g")
+        store = RuntimeStore()
+        obj = store.allocate()
+        assert included_locations(scope, store, obj, "f") == {(obj, "f")}
+
+
+class TestRepInclusions:
+    def test_pivot_extends_to_target_object(self):
+        scope, store, stack, vector = setup_stack()
+        covered = included_locations(scope, store, stack, "contents")
+        assert (vector, "cnt") in covered
+        assert (vector, "data") in covered
+        assert (vector, "elems") in covered
+
+    def test_pivot_does_not_cover_unrelated_fields(self):
+        scope, store, stack, vector = setup_stack()
+        covered = included_locations(scope, store, stack, "contents")
+        assert (vector, "other") not in covered
+        assert (stack, "other") not in covered
+
+    def test_null_pivot_contributes_nothing(self):
+        scope, store, stack, vector = setup_stack()
+        store.write(stack, "vec", None)
+        covered = included_locations(scope, store, stack, "contents")
+        assert all(obj != vector for obj, _ in covered)
+
+    def test_inclusion_is_store_dependent(self):
+        scope, store, stack, vector = setup_stack()
+        replacement = store.allocate()
+        store.write(stack, "vec", replacement)
+        covered = included_locations(scope, store, stack, "contents")
+        assert (replacement, "cnt") in covered
+        assert (vector, "cnt") not in covered
+
+    def test_cyclic_rep_inclusion_terminates(self):
+        scope = Scope.from_source(
+            "group g\nfield value in g\nfield next maps g into g"
+        )
+        store = RuntimeStore()
+        a, b = store.allocate(), store.allocate()
+        store.write(a, "next", b)
+        store.write(b, "next", a)  # a genuine cycle in the store
+        covered = included_locations(scope, store, a, "g")
+        assert (a, "value") in covered
+        assert (b, "value") in covered
+
+    def test_linked_list_chain(self):
+        scope = Scope.from_source(
+            "group g\nfield value in g\nfield next maps g into g"
+        )
+        store = RuntimeStore()
+        nodes = [store.allocate() for _ in range(4)]
+        for first, second in zip(nodes, nodes[1:]):
+            store.write(first, "next", second)
+        covered = included_locations(scope, store, nodes[0], "g")
+        for node in nodes:
+            assert (node, "value") in covered
+
+    def test_location_covered_helper(self):
+        scope, store, stack, vector = setup_stack()
+        assert location_covered(scope, store, stack, "contents", vector, "cnt")
+        assert not location_covered(scope, store, vector, "elems", stack, "vec")

@@ -1,0 +1,309 @@
+"""Unit tests for the nondeterministic interpreter and runtime monitors."""
+
+import pytest
+
+from repro.errors import InterpError
+from repro.oolong.program import Scope
+from repro.semantics.interp import (
+    ExplorationConfig,
+    Interpreter,
+    OutcomeKind,
+    explore_program,
+)
+from repro.semantics.store import ObjRef, RuntimeStore
+
+
+def outcomes_of(source, entry="main", config=None, args=()):
+    scope = Scope.from_source(source)
+    return explore_program(scope, entry, args, config)
+
+
+def kinds_of(source, **kwargs):
+    return sorted(o.kind.value for o in outcomes_of(source, **kwargs))
+
+
+MAIN = "proc main()\nimpl main() {{ {body} }}"
+
+
+def main_program(body, decls=""):
+    return decls + "\n" + MAIN.format(body=body)
+
+
+class TestBasicExecution:
+    def test_skip_terminates_normally(self):
+        assert kinds_of(main_program("skip")) == ["normal"]
+
+    def test_assert_true_passes(self):
+        assert kinds_of(main_program("assert 1 = 1")) == ["normal"]
+
+    def test_assert_false_goes_wrong(self):
+        assert kinds_of(main_program("assert 1 = 2")) == ["assert failed"]
+
+    def test_assume_false_blocks(self):
+        assert kinds_of(main_program("assume false ; assert false")) == ["blocked"]
+
+    def test_sequence_threads_state(self):
+        body = "var x in x := 1 ; x := x + 1 ; assert x = 2 end"
+        assert kinds_of(main_program(body)) == ["normal"]
+
+    def test_choice_explores_both_branches(self):
+        body = "var x in (x := 1 [] x := 2) ; assert x = 1 end"
+        assert kinds_of(main_program(body)) == ["assert failed", "normal"]
+
+    def test_if_sugar(self):
+        body = (
+            "var x in x := 3 ;"
+            " if x < 5 then x := 1 else x := 2 end ;"
+            " assert x = 1 end"
+        )
+        # The paper's encoding blocks the untaken branch.
+        assert kinds_of(main_program(body)) == ["blocked", "normal"]
+
+    def test_var_initial_value_candidates(self):
+        config = ExplorationConfig(var_candidates=(None, 0, 1))
+        body = "var x in assert x = 0 end"
+        kinds = kinds_of(main_program(body), config=config)
+        assert kinds.count("normal") == 1
+        assert len(kinds) == 3
+
+    def test_allocation_distinct(self):
+        body = "var a in var b in a := new() ; b := new() ; assert a != b end end"
+        assert kinds_of(main_program(body)) == ["normal"]
+
+    def test_field_roundtrip(self):
+        body = "var a in a := new() ; a.f := 7 ; assert a.f = 7 end"
+        assert kinds_of(main_program(body, "field f")) == ["normal"]
+
+    def test_fresh_fields_read_null(self):
+        body = "var a in a := new() ; assert a.f = null end"
+        assert kinds_of(main_program(body, "field f")) == ["normal"]
+
+    def test_arithmetic_and_comparisons(self):
+        body = "assert 2 + 3 * 4 = 14 ; assert 5 - 2 >= 3 ; assert !(4 < 4)"
+        assert kinds_of(main_program(body)) == ["normal"]
+
+
+class TestDynamicErrors:
+    def test_null_dereference_is_error(self):
+        body = "var a in a := null ; a.f := 1 end"
+        assert kinds_of(main_program(body, "field f")) == ["dynamic error"]
+
+    def test_null_read_is_error(self):
+        body = "var a in assert a.f = null end"
+        assert kinds_of(main_program(body, "field f")) == ["dynamic error"]
+
+    def test_arithmetic_on_objects_is_error(self):
+        body = "var a in a := new() ; assert a + 1 = 2 end"
+        assert kinds_of(main_program(body)) == ["dynamic error"]
+
+    def test_non_boolean_condition_is_error(self):
+        assert kinds_of(main_program("assume 3")) == ["dynamic error"]
+
+    def test_unknown_procedure_raises(self):
+        scope = Scope.from_source("proc main()\nimpl main() { skip }")
+        with pytest.raises(InterpError):
+            explore_program(scope, "missing")
+
+    def test_unimplemented_callee_raises(self):
+        source = "proc helper(x)\nproc main()\nimpl main() { helper(null) }"
+        with pytest.raises(InterpError):
+            outcomes_of(source)
+
+
+class TestCallsAndDispatch:
+    def test_call_binds_parameters(self):
+        source = """
+        field f
+        proc set7(t) modifies t.f
+        impl set7(t) { t.f := 7 }
+        proc main()
+        impl main() { var a in a := new() ; set7(a) ; assert a.f = 7 end }
+        """
+        assert kinds_of(source) == ["normal"]
+
+    def test_multiple_impls_dispatch_demonically(self):
+        source = """
+        field f
+        proc set(t) modifies t.f
+        impl set(t) { t.f := 1 }
+        impl set(t) { t.f := 2 }
+        proc main()
+        impl main() { var a in a := new() ; set(a) ; assert a.f = 1 end }
+        """
+        assert kinds_of(source) == ["assert failed", "normal"]
+
+    def test_callee_env_is_isolated(self):
+        source = """
+        proc helper(t)
+        impl helper(t) { var inner in inner := 5 end }
+        proc main()
+        impl main() { var t in t := 1 ; helper(null) ; assert t = 1 end }
+        """
+        assert kinds_of(source) == ["normal"]
+
+    def test_recursion_hits_depth_limit(self):
+        source = """
+        proc loop(t)
+        impl loop(t) { loop(t) }
+        proc main()
+        impl main() { loop(null) }
+        """
+        config = ExplorationConfig(max_call_depth=8)
+        assert kinds_of(source, config=config) == ["exploration limit reached"]
+
+
+class TestModifiesMonitor:
+    DECLS = """
+    group data
+    field f in data
+    field g
+    proc licensed(t) modifies t.data
+    impl licensed(t) { t.f := 1 }
+    proc rogue(t)
+    impl rogue(t) { t.f := 1 }
+    proc wrongfield(t) modifies t.data
+    impl wrongfield(t) { t.g := 1 }
+    """
+
+    def test_write_within_licence(self):
+        body = "var a in a := new() ; licensed(a) end"
+        assert kinds_of(main_program(body, self.DECLS)) == ["normal"]
+
+    def test_write_without_licence_flagged(self):
+        body = "var a in a := new() ; rogue(a) end"
+        assert kinds_of(main_program(body, self.DECLS)) == ["modifies violation"]
+
+    def test_write_outside_group_flagged(self):
+        body = "var a in a := new() ; wrongfield(a) end"
+        assert kinds_of(main_program(body, self.DECLS)) == ["modifies violation"]
+
+    def test_fresh_objects_are_free(self):
+        decls = self.DECLS + """
+        proc fresh(t)
+        impl fresh(t) { var a in a := new() ; a.f := 1 ; a.g := 2 end }
+        """
+        body = "fresh(null)"
+        assert kinds_of(main_program(body, decls)) == ["normal"]
+
+    def test_monitor_can_be_disabled(self):
+        body = "var a in a := new() ; rogue(a) end"
+        config = ExplorationConfig(check_modifies=False)
+        assert kinds_of(main_program(body, self.DECLS), config=config) == ["normal"]
+
+    def test_rep_inclusion_extends_licence(self):
+        decls = """
+        group contents
+        group elems
+        field cnt in elems
+        field vec in contents maps elems into contents
+        proc bump(s) modifies s.contents
+        impl bump(s) { s.vec.cnt := 1 }
+        """
+        body = "var s in s := new() ; s.vec := new() ; bump(s) end"
+        assert kinds_of(main_program(body, decls)) == ["normal"]
+
+    def test_licence_fixed_at_entry(self):
+        # Swinging the pivot mid-call must not extend the licence to the
+        # vector that was current at entry... the *new* vector is fresh and
+        # free; the old one is no longer covered once the pivot swings, but
+        # writes to it before swinging were legal. This exercises entry
+        # evaluation: the licence covers the entry-time vector.
+        decls = """
+        group contents
+        group elems
+        field cnt in elems
+        field vec in contents maps elems into contents
+        proc swing(s) modifies s.contents
+        impl swing(s) { s.vec := new() ; s.vec.cnt := 1 }
+        """
+        body = "var s in s := new() ; s.vec := new() ; swing(s) end"
+        assert kinds_of(main_program(body, decls)) == ["normal"]
+
+
+class TestPivotMonitor:
+    DECLS = """
+    group contents
+    field cnt
+    field obj
+    field vec maps cnt into contents
+    """
+
+    def test_unique_pivot_ok(self):
+        body = "var s in s := new() ; s.vec := new() end"
+        assert kinds_of(main_program(body, self.DECLS)) == ["normal"]
+
+    def test_duplicated_pivot_value_flagged(self):
+        # Simulates what the restriction checker forbids syntactically:
+        # copying a pivot value into another field (monitors off for
+        # modifies since main has no licence).
+        body = (
+            "var s in var r in s := new() ; r := new() ;"
+            " s.vec := new() ; r.obj := s.vec end end"
+        )
+        config = ExplorationConfig(check_modifies=False)
+        kinds = kinds_of(main_program(body, self.DECLS), config=config)
+        assert kinds == ["pivot uniqueness violated"]
+
+    def test_monitor_can_be_disabled(self):
+        body = (
+            "var s in var r in s := new() ; r := new() ;"
+            " s.vec := new() ; r.obj := s.vec end end"
+        )
+        config = ExplorationConfig(
+            check_modifies=False, check_pivot_uniqueness=False
+        )
+        kinds = kinds_of(main_program(body, self.DECLS), config=config)
+        assert kinds == ["normal"]
+
+
+class TestOwnerExclusionMonitor:
+    DECLS = """
+    group contents
+    field cnt
+    field vec maps cnt into contents
+    proc touch(v) modifies v.cnt
+    impl touch(v) { assume v != null ; v.cnt := 1 }
+    proc poke(s, v) modifies s.contents
+    impl poke(s, v) { skip }
+    """
+
+    def test_passing_pivot_to_owner_modifier_flagged(self):
+        body = "var s in s := new() ; s.vec := new() ; poke(s, s.vec) end"
+        kinds = kinds_of(main_program(body, self.DECLS))
+        assert kinds == ["owner exclusion violated"]
+
+    def test_passing_pivot_to_safe_callee_ok(self):
+        body = "var s in s := new() ; s.vec := new() ; touch(s.vec) end"
+        assert kinds_of(main_program(body, self.DECLS)) == ["normal"]
+
+    def test_monitor_can_be_disabled(self):
+        body = "var s in s := new() ; s.vec := new() ; poke(s, s.vec) end"
+        config = ExplorationConfig(check_owner_exclusion=False)
+        assert kinds_of(main_program(body, self.DECLS), config=config) == ["normal"]
+
+
+class TestStore:
+    def test_allocation_order(self):
+        store = RuntimeStore()
+        a, b = store.allocate(), store.allocate()
+        assert a != b
+        assert store.is_alive(a) and store.is_alive(b)
+
+    def test_snapshot_is_independent(self):
+        store = RuntimeStore()
+        obj = store.allocate()
+        snap = store.snapshot()
+        store.write(obj, "f", 1)
+        assert snap.read(obj, "f") is None
+        assert store.read(obj, "f") == 1
+
+    def test_unwritten_fields_are_null(self):
+        store = RuntimeStore()
+        obj = store.allocate()
+        assert store.read(obj, "anything") is None
+
+    def test_non_objects_not_alive(self):
+        store = RuntimeStore()
+        assert not store.is_alive(None)
+        assert not store.is_alive(3)
+        assert not store.is_alive(ObjRef(99))

@@ -1,0 +1,84 @@
+"""Golden tests for the logic printer's stable output format."""
+
+from repro.logic.printer import format_formula, format_term
+from repro.logic.terms import (
+    And,
+    App,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    IntLit,
+    Not,
+    Or,
+    Pred,
+    TrueF,
+    Var,
+)
+
+
+class TestTerms:
+    def test_var(self):
+        assert format_term(Var("X")) == "?X"
+
+    def test_const(self):
+        assert format_term(Const("null")) == "null"
+
+    def test_int(self):
+        assert format_term(IntLit(42)) == "42"
+
+    def test_app(self):
+        term = App("sel", (Const("$0"), Var("X"), Const("attr$f")))
+        assert format_term(term) == "(sel $0 ?X attr$f)"
+
+    def test_nested_app(self):
+        term = App("f", (App("g", (Const("a"),)),))
+        assert format_term(term) == "(f (g a))"
+
+
+class TestFormulas:
+    def test_atoms(self):
+        assert format_formula(TrueF()) == "true"
+        assert format_formula(Eq(Const("a"), Const("b"))) == "(= a b)"
+        assert format_formula(Pred("alive", (Const("s"), Var("X")))) == "(alive s ?X)"
+
+    def test_connectives_indent(self):
+        formula = And((TrueF(), Not(TrueF())))
+        assert format_formula(formula) == "(and\n  true\n  (not\n    true))"
+
+    def test_implies(self):
+        formula = Implies(TrueF(), TrueF())
+        assert format_formula(formula) == "(=>\n  true\n  true)"
+
+    def test_iff(self):
+        formula = Iff(TrueF(), TrueF())
+        assert format_formula(formula) == "(<=>\n  true\n  true)"
+
+    def test_or(self):
+        formula = Or((TrueF(), TrueF()))
+        assert format_formula(formula) == "(or\n  true\n  true)"
+
+    def test_forall_with_triggers(self):
+        pattern = App("P", (Var("X"),))
+        formula = Forall(("X",), Pred("P", (Var("X"),)), ((pattern,),))
+        rendered = format_formula(formula)
+        assert rendered.startswith("(forall (X) :pattern {(P ?X)}")
+
+    def test_forall_without_triggers(self):
+        formula = Forall(("X", "Y"), TrueF())
+        assert ":pattern" not in format_formula(formula)
+
+    def test_exists(self):
+        formula = Exists(("X",), TrueF())
+        assert format_formula(formula) == "(exists (X)\n  true)"
+
+    def test_deterministic(self):
+        formula = And(
+            (
+                Pred("inc", (Const("$0"), Var("X"), Const("g"), Var("Y"), Const("f"))),
+                Not(Eq(Var("X"), Var("Y"))),
+            )
+        )
+        assert format_formula(formula) == format_formula(formula)

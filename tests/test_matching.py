@@ -1,0 +1,179 @@
+"""Unit tests for E-matching and trigger inference."""
+
+from repro.logic.terms import (
+    And,
+    App,
+    Const,
+    Eq,
+    Forall,
+    Implies,
+    IntLit,
+    Not,
+    Or,
+    Pred,
+    Var,
+)
+from repro.prover.egraph import EGraph
+from repro.prover.matching import match_multipattern
+from repro.prover.triggers import infer_triggers
+
+a, b, c = Const("a"), Const("b"), Const("c")
+X, Y = Var("X"), Var("Y")
+
+
+def f(*args):
+    return App("f", args)
+
+
+def g(*args):
+    return App("g", args)
+
+
+def bindings_of(egraph, *patterns):
+    return list(match_multipattern(egraph, patterns))
+
+
+class TestMatching:
+    def test_single_pattern_single_match(self):
+        eg = EGraph()
+        eg.intern(f(a))
+        (binding,) = bindings_of(eg, f(X))
+        assert eg.term_of(binding["X"]) == a
+
+    def test_single_pattern_many_matches(self):
+        eg = EGraph()
+        eg.intern(f(a))
+        eg.intern(f(b))
+        results = {eg.term_of(m["X"]) for m in bindings_of(eg, f(X))}
+        assert results == {a, b}
+
+    def test_no_match_for_missing_head(self):
+        eg = EGraph()
+        eg.intern(f(a))
+        assert bindings_of(eg, g(X)) == []
+
+    def test_arity_mismatch_no_match(self):
+        eg = EGraph()
+        eg.intern(f(a, b))
+        assert bindings_of(eg, f(X)) == []
+
+    def test_constant_argument_filters(self):
+        eg = EGraph()
+        eg.intern(f(a, b))
+        eg.intern(f(c, b))
+        results = bindings_of(eg, f(X, Const("b")))
+        assert len(results) == 2
+        only = bindings_of(eg, App("f", (Const("a"), Var("Y"))))
+        assert len(only) == 1
+        assert eg.term_of(only[0]["Y"]) == b
+
+    def test_matching_modulo_congruence(self):
+        eg = EGraph()
+        eg.intern(App("P", (c,)))
+        eg.assert_eq(eg.intern(c), eg.intern(f(a)))
+        # Pattern P(f(X)) should match P(c) because c == f(a).
+        results = bindings_of(eg, App("P", (f(X),)))
+        assert len(results) == 1
+        assert eg.term_of(results[0]["X"]) == a
+
+    def test_nonlinear_pattern_requires_equality(self):
+        eg = EGraph()
+        eg.intern(f(a, b))
+        assert bindings_of(eg, f(X, X)) == []
+        eg.assert_eq(eg.intern(a), eg.intern(b))
+        assert len(bindings_of(eg, f(X, X))) == 1
+
+    def test_multipattern_shares_bindings(self):
+        eg = EGraph()
+        eg.intern(f(a))
+        eg.intern(g(a))
+        eg.intern(g(b))
+        results = bindings_of(eg, f(X), g(X))
+        assert len(results) == 1
+        assert eg.term_of(results[0]["X"]) == a
+
+    def test_multipattern_cross_product_when_independent(self):
+        eg = EGraph()
+        eg.intern(f(a))
+        eg.intern(f(b))
+        eg.intern(g(c))
+        results = bindings_of(eg, f(X), g(Y))
+        assert len(results) == 2
+
+    def test_nested_pattern(self):
+        eg = EGraph()
+        eg.intern(f(g(a)))
+        (binding,) = bindings_of(eg, f(g(X)))
+        assert eg.term_of(binding["X"]) == a
+
+    def test_match_after_pop_sees_persistent_terms(self):
+        eg = EGraph()
+        mark = eg.push()
+        eg.intern(f(a))
+        eg.pop(mark)
+        # Terms survive pops by design; matching still finds them.
+        assert len(bindings_of(eg, f(X))) == 1
+
+    def test_ghost_node_still_congruent_after_pop(self):
+        # Regression test for the ghost-node bug: a node created inside a
+        # popped scope must still participate in congruence afterwards.
+        eg = EGraph()
+        p_fa = eg.intern(App("P", (f(a),)))
+        mark = eg.push()
+        p_c = eg.intern(App("P", (c,)))  # created in the inner scope
+        eg.pop(mark)
+        assert eg.assert_eq(p_c, eg.TRUE)
+        assert eg.assert_eq(eg.intern(c), eg.intern(f(a)))
+        # P(c) and P(f(a)) must have merged: both true now.
+        assert eg.truth(p_fa) is True
+
+
+class TestTriggerInference:
+    def test_single_covering_pattern(self):
+        q = Forall(("X",), Implies(Pred("P", (X,)), Pred("Q", (X,))))
+        triggers = infer_triggers(q)
+        assert triggers
+        assert all(len(multi) == 1 for multi in triggers)
+
+    def test_prefers_small_patterns(self):
+        q = Forall(
+            ("X",),
+            Implies(Pred("P", (X,)), Pred("Q", (App("f", (App("g", (X,)),)),))),
+        )
+        (first, *_) = infer_triggers(q)
+        assert first == (App("P", (X,)),)
+
+    def test_multipattern_cover(self):
+        q = Forall(
+            ("X", "Y"),
+            Implies(And((Pred("P", (X,)), Pred("Q", (Y,)))), Eq(X, Y)),
+        )
+        (multi,) = infer_triggers(q)
+        heads = sorted(p.fn for p in multi)
+        assert heads == ["P", "Q"]
+
+    def test_interpreted_heads_excluded(self):
+        q = Forall(("X",), Pred("<", (App("+", (X, IntLit(1))), IntLit(10))))
+        assert infer_triggers(q) == ()
+
+    def test_patterns_found_inside_equalities(self):
+        q = Forall(("X",), Eq(App("f", (X,)), Const("a")))
+        triggers = infer_triggers(q)
+        assert ((App("f", (X,)),),) == triggers[:1]
+
+    def test_unmatchable_quantifier(self):
+        q = Forall(("X",), Eq(X, Const("a")))
+        assert infer_triggers(q) == ()
+
+    def test_alternative_triggers_limited(self):
+        body = Or(
+            (
+                Pred("P", (X,)),
+                Pred("Q", (X,)),
+                Pred("R", (X,)),
+                Pred("S", (X,)),
+                Pred("T", (X,)),
+            )
+        )
+        triggers = infer_triggers(Forall(("X",), body))
+        assert 1 <= len(triggers) <= 3

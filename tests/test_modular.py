@@ -1,0 +1,97 @@
+"""Tests for the scope-monotonicity harness and modular soundness."""
+
+import pytest
+
+from repro.modular.monotonicity import check_monotonicity
+from repro.oolong.parser import parse_program_text
+from repro.oolong.program import Scope
+from repro.prover.core import Limits, Verdict
+
+LIMITS = Limits(time_budget=120.0)
+
+
+def scope_of(source):
+    return Scope.from_source(source)
+
+
+BASE = """
+group g
+field f in g
+proc p(t) modifies t.g
+impl p(t) { assume t != null ; t.f := 1 }
+"""
+
+
+class TestHarness:
+    def test_valid_stays_valid_under_neutral_extension(self):
+        report = check_monotonicity(
+            scope_of(BASE),
+            parse_program_text("group other\nfield x in other"),
+            LIMITS,
+        )
+        assert report.monotone
+        (result,) = report.results
+        assert result.base_verdict is Verdict.UNSAT
+        assert result.extended_verdict is Verdict.UNSAT
+
+    def test_extension_adding_inclusions_preserves_validity(self):
+        # New fields in g and a new pivot into g: strictly more inclusions.
+        extension = "field extra in g\nfield piv maps g into g"
+        report = check_monotonicity(
+            scope_of(BASE), parse_program_text(extension), LIMITS
+        )
+        assert report.monotone
+
+    def test_extension_with_new_impls_preserves_validity(self):
+        extension = "impl p(t) { skip }"
+        report = check_monotonicity(
+            scope_of(BASE), parse_program_text(extension), LIMITS
+        )
+        # Only base impls are compared; the extension's impl is irrelevant
+        # to p#0's VC.
+        assert report.monotone
+
+    def test_invalid_stays_invalid(self):
+        source = """
+        group g
+        field f
+        proc p(t) modifies t.g
+        impl p(t) { assume t != null ; t.f := 1 }
+        """
+        report = check_monotonicity(
+            scope_of(source), parse_program_text("group other"), LIMITS
+        )
+        (result,) = report.results
+        assert result.base_verdict is Verdict.SAT
+        assert result.extended_verdict is Verdict.SAT
+        assert report.monotone  # not a violation: never valid to begin with
+
+    def test_extension_revealing_pivot_keeps_client_valid(self):
+        # The Section 3.0 shape: hidden rep inclusion revealed later.
+        from repro.corpus.programs import SECTION3_CLIENT, SECTION3_HONEST_IMPLS
+
+        report = check_monotonicity(
+            scope_of(SECTION3_CLIENT),
+            parse_program_text(SECTION3_HONEST_IMPLS),
+            LIMITS,
+        )
+        assert report.monotone, [
+            (r.impl_name, r.base_verdict, r.extended_verdict)
+            for r in report.results
+        ]
+
+    def test_ill_formed_extension_rejected(self):
+        from repro.errors import WellFormednessError
+
+        with pytest.raises(WellFormednessError):
+            check_monotonicity(
+                scope_of(BASE), parse_program_text("field dup in missing"), LIMITS
+            )
+
+    def test_report_shape(self):
+        report = check_monotonicity(
+            scope_of(BASE), parse_program_text("group other"), LIMITS
+        )
+        assert len(report.results) == 1
+        assert report.results[0].impl_name == "p"
+        assert not report.violations

@@ -1,0 +1,170 @@
+"""Tests for the interface/implementation module system."""
+
+import pytest
+
+from repro.errors import WellFormednessError
+from repro.modular.modules import Module, ModuleSystem
+from repro.oolong.parser import parse_program_text
+from repro.prover.core import Limits
+from repro.semantics.interp import OutcomeKind, explore_program
+
+LIMITS = Limits(time_budget=120.0)
+
+VECTOR_IFACE = """
+group elems
+field cnt in elems
+proc vec_bump(v) modifies v.elems requires v != null
+"""
+
+VECTOR_IMPL = """
+impl vec_bump(v) { v.cnt := 1 }
+"""
+
+STACK_IFACE = """
+group contents
+proc push(s) modifies s.contents requires s != null
+proc new_stack(r) modifies r.contents requires r != null
+"""
+
+STACK_IMPL = """
+field vec in contents maps elems into contents
+impl new_stack(r) { r.vec := new() }
+impl push(s) {
+  ( assume s.vec = null ; s.vec := new()
+    []
+    assume s.vec != null ; skip ) ;
+  vec_bump(s.vec)
+}
+"""
+
+CLIENT_IFACE = "proc main()"
+
+CLIENT_IMPL = """
+impl main() {
+  var s in
+    s := new() ;
+    new_stack(s) ;
+    push(s) ;
+    push(s)
+  end
+}
+"""
+
+
+def build_system() -> ModuleSystem:
+    system = ModuleSystem()
+    system.define("vector", interface=VECTOR_IFACE, implementation=VECTOR_IMPL)
+    system.define(
+        "stack",
+        interface=STACK_IFACE,
+        implementation=STACK_IMPL,
+        imports=["vector"],
+    )
+    system.define(
+        "client",
+        interface=CLIENT_IFACE,
+        implementation=CLIENT_IMPL,
+        imports=["stack"],
+    )
+    return system
+
+
+class TestScopeConstruction:
+    def test_interface_scope_excludes_private_decls(self):
+        system = build_system()
+        scope = system.interface_scope("stack")
+        assert scope.is_group("contents")
+        assert not scope.is_field("vec")  # private to the stack module
+
+    def test_interface_scope_includes_transitive_imports(self):
+        system = build_system()
+        scope = system.interface_scope("client")
+        assert scope.proc("push") is not None
+        assert scope.proc("vec_bump") is not None  # via stack -> vector
+
+    def test_implementation_scope_adds_private_decls(self):
+        system = build_system()
+        scope = system.implementation_scope("stack")
+        assert scope.is_field("vec")
+        assert scope.impls_of("push")
+
+    def test_implementation_scope_excludes_other_modules_privates(self):
+        system = build_system()
+        scope = system.implementation_scope("client")
+        assert not scope.is_field("vec")
+        assert scope.impls_of("push") == ()
+
+    def test_whole_program_scope_has_everything(self):
+        system = build_system()
+        scope = system.whole_program_scope()
+        assert scope.is_field("vec")
+        assert scope.impls_of("push")
+        assert scope.impls_of("main")
+
+    def test_interfaces_reject_impls(self):
+        with pytest.raises(WellFormednessError):
+            Module("m", interface=parse_program_text("proc p()\nimpl p() { skip }"))
+
+    def test_import_cycle_rejected(self):
+        system = ModuleSystem()
+        system.define("a", interface="group ga", imports=["b"])
+        system.define("b", interface="group gb", imports=["a"])
+        with pytest.raises(WellFormednessError):
+            system.interface_scope("a")
+
+    def test_unknown_import_rejected(self):
+        system = ModuleSystem()
+        system.define("a", interface="group ga", imports=["ghost"])
+        with pytest.raises(WellFormednessError):
+            system.interface_scope("a")
+
+    def test_duplicate_module_rejected(self):
+        system = ModuleSystem()
+        system.define("a", interface="group ga")
+        with pytest.raises(WellFormednessError):
+            system.define("a", interface="group gb")
+
+
+class TestModularChecking:
+    def test_every_module_checks_in_its_own_scope(self):
+        system = build_system()
+        reports = system.check_all(LIMITS)
+        for name, report in reports.items():
+            assert report.ok, f"{name}: {report.describe()}"
+
+    def test_client_checks_without_stack_privates(self):
+        # The point of modular checking: the client never sees `vec`.
+        system = build_system()
+        report = system.check_module("client", LIMITS)
+        assert report.ok, report.describe()
+
+    def test_broken_private_impl_caught_in_its_module_only(self):
+        system = ModuleSystem()
+        system.define("vector", interface=VECTOR_IFACE, implementation=VECTOR_IMPL)
+        system.define(
+            "stack",
+            interface=STACK_IFACE,
+            implementation=STACK_IMPL.replace(
+                "impl new_stack(r) { r.vec := new() }",
+                # Writes a location outside its licence.
+                "field rogue\nimpl new_stack(r) { r.vec := new() ; r.rogue := 1 }",
+            ),
+            imports=["vector"],
+        )
+        system.define(
+            "client",
+            interface=CLIENT_IFACE,
+            implementation=CLIENT_IMPL,
+            imports=["stack"],
+        )
+        reports = system.check_all(LIMITS)
+        assert not reports["stack"].ok
+        assert reports["vector"].ok
+        assert reports["client"].ok
+
+    def test_linked_program_runs_clean(self):
+        system = build_system()
+        scope = system.whole_program_scope()
+        outcomes = explore_program(scope, "main")
+        assert any(o.kind is OutcomeKind.NORMAL for o in outcomes)
+        assert not any(o.wrong for o in outcomes)

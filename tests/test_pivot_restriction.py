@@ -1,0 +1,140 @@
+"""Unit tests for the pivot uniqueness restriction checker."""
+
+import pytest
+
+from repro.errors import RestrictionError
+from repro.oolong.program import Scope
+from repro.restrictions.pivot import (
+    RULE_FORMAL_COPY,
+    RULE_FORMAL_TARGET,
+    RULE_PIVOT_READ,
+    RULE_PIVOT_TARGET,
+    check_pivot_uniqueness,
+    enforce_pivot_uniqueness,
+)
+
+HEADER = """
+group contents
+group elems
+field cnt in elems
+field vec maps elems into contents
+field obj
+proc push(st, o) modifies st.contents
+proc m(st, r) modifies r.obj
+"""
+
+
+def violations_of(body, params="st, r"):
+    source = HEADER + f"\nproc subject({params})\nimpl subject({params}) {{ {body} }}"
+    return check_pivot_uniqueness(Scope.from_source(source))
+
+
+def rules_of(body, params="st, r"):
+    return [v.rule for v in violations_of(body, params)]
+
+
+class TestPivotTargetRule:
+    def test_pivot_assigned_new_is_legal(self):
+        assert rules_of("st.vec := new()") == []
+
+    def test_pivot_assigned_null_is_legal(self):
+        assert rules_of("st.vec := null") == []
+
+    def test_pivot_assigned_local_rejected(self):
+        assert RULE_PIVOT_TARGET in rules_of("var v in st.vec := v end")
+
+    def test_pivot_assigned_constant_rejected(self):
+        assert RULE_PIVOT_TARGET in rules_of("st.vec := 3")
+
+    def test_pivot_assigned_field_read_rejected(self):
+        # Both the target rule and the read rule fire: RHS is also a pivot read.
+        rules = rules_of("st.vec := r.vec")
+        assert RULE_PIVOT_TARGET in rules
+        assert RULE_PIVOT_READ in rules
+
+    def test_non_pivot_field_assignment_unrestricted(self):
+        assert rules_of("r.cnt := 3") == []
+
+
+class TestPivotReadRule:
+    def test_reading_pivot_into_local_rejected(self):
+        assert rules_of("var v in v := st.vec end") == [RULE_PIVOT_READ]
+
+    def test_reading_pivot_into_field_rejected(self):
+        # The unsound impl of m from Section 3.0: r.obj := st.vec.
+        assert rules_of("r.obj := st.vec") == [RULE_PIVOT_READ]
+
+    def test_reading_through_pivot_is_legal(self):
+        # x.vec.cnt consumes the pivot value transiently; only storing the
+        # pivot value itself is forbidden.
+        assert rules_of("var n in n := st.vec.cnt end") == []
+
+    def test_reading_non_pivot_is_legal(self):
+        assert rules_of("var v in v := r.obj end") == []
+
+    def test_pivot_read_in_call_argument_is_legal(self):
+        # Owner exclusion, not pivot uniqueness, governs this case.
+        assert rules_of("push(st.vec, 3)") == []
+
+    def test_pivot_read_in_assert_is_legal(self):
+        assert rules_of("assert st.vec != null") == []
+
+
+class TestFormalCopyRule:
+    def test_copying_formal_into_local_rejected(self):
+        assert rules_of("var v in v := st end") == [RULE_FORMAL_COPY]
+
+    def test_copying_formal_into_field_rejected(self):
+        assert rules_of("r.obj := st") == [RULE_FORMAL_COPY]
+
+    def test_copying_local_is_legal(self):
+        assert rules_of("var a in var b in a := new() ; b := a end end") == []
+
+    def test_assigning_to_formal_rejected(self):
+        assert rules_of("st := null") == [RULE_FORMAL_TARGET]
+
+    def test_assigning_new_to_formal_rejected(self):
+        assert rules_of("st := new()") == [RULE_FORMAL_TARGET]
+
+    def test_formal_in_operator_expression_is_legal(self):
+        # Operators never return objects, so st = null can flow anywhere.
+        assert rules_of("var b in b := st = null end") == []
+
+
+class TestTraversal:
+    def test_violation_inside_choice(self):
+        assert rules_of("skip [] r.obj := st.vec") == [RULE_PIVOT_READ]
+
+    def test_violation_inside_seq(self):
+        assert rules_of("skip ; r.obj := st.vec ; skip") == [RULE_PIVOT_READ]
+
+    def test_violation_inside_var(self):
+        assert rules_of("var v in skip ; v := st.vec end") == [RULE_PIVOT_READ]
+
+    def test_multiple_violations_all_reported(self):
+        body = "var v in v := st.vec ; v := r.vec end"
+        assert rules_of(body) == [RULE_PIVOT_READ, RULE_PIVOT_READ]
+
+    def test_all_impls_checked(self):
+        source = HEADER + (
+            "\nproc a(t)\nimpl a(t) { var v in v := t.vec end }"
+            "\nproc b(t)\nimpl b(t) { var v in v := t.vec end }"
+        )
+        assert len(check_pivot_uniqueness(Scope.from_source(source))) == 2
+
+    def test_violation_carries_impl_and_rule(self):
+        (violation,) = violations_of("r.obj := st.vec")
+        assert violation.impl == "subject"
+        assert violation.rule == RULE_PIVOT_READ
+        assert "vec" in violation.detail
+
+
+class TestEnforce:
+    def test_enforce_passes_clean_program(self):
+        scope = Scope.from_source(HEADER + "\nproc ok(t)\nimpl ok(t) { skip }")
+        enforce_pivot_uniqueness(scope)
+
+    def test_enforce_raises_on_violation(self):
+        source = HEADER + "\nimpl m(st, r) { r.obj := st.vec }"
+        with pytest.raises(RestrictionError):
+            enforce_pivot_uniqueness(Scope.from_source(source))

@@ -1,0 +1,222 @@
+"""Unit tests for the solver: propositional, equality, quantifiers."""
+
+import pytest
+
+from repro.logic.terms import (
+    And,
+    App,
+    Const,
+    Eq,
+    Exists,
+    FalseF,
+    Forall,
+    Implies,
+    IntLit,
+    Not,
+    Or,
+    Pred,
+    TrueF,
+    Var,
+    neq,
+)
+from repro.prover.core import Limits, Solver, Verdict, prove_valid
+
+a, b, c = Const("a"), Const("b"), Const("c")
+x, y = Var("x"), Var("y")
+
+
+def P(t):
+    return Pred("P", (t,))
+
+
+def Q(t):
+    return Pred("Q", (t,))
+
+
+def f(t):
+    return App("f", (t,))
+
+
+def check(*formulas, limits=None):
+    solver = Solver(limits or Limits(time_budget=10.0))
+    for formula in formulas:
+        solver.add(formula)
+    return solver.check().verdict
+
+
+class TestPropositional:
+    def test_single_atom_sat(self):
+        assert check(P(a)) is Verdict.SAT
+
+    def test_contradiction_unsat(self):
+        assert check(P(a), Not(P(a))) is Verdict.UNSAT
+
+    def test_false_unsat(self):
+        assert check(FalseF()) is Verdict.UNSAT
+
+    def test_true_sat(self):
+        assert check(TrueF()) is Verdict.SAT
+
+    def test_disjunction_with_one_open_branch(self):
+        assert check(Or((P(a), P(b))), Not(P(a))) is Verdict.SAT
+
+    def test_disjunction_all_branches_closed(self):
+        assert check(Or((P(a), P(b))), Not(P(a)), Not(P(b))) is Verdict.UNSAT
+
+    def test_unit_propagation_chain(self):
+        clauses = [
+            Or((Not(P(a)), P(b))),
+            Or((Not(P(b)), P(c))),
+            P(a),
+            Not(P(c)),
+        ]
+        assert check(*clauses) is Verdict.UNSAT
+
+    def test_case_split_needed(self):
+        # (P(a) | P(b)) & (!P(a) | P(c)) & (!P(b) | P(c)) & !P(c) is unsat.
+        clauses = [
+            Or((P(a), P(b))),
+            Or((Not(P(a)), P(c))),
+            Or((Not(P(b)), P(c))),
+            Not(P(c)),
+        ]
+        assert check(*clauses) is Verdict.UNSAT
+
+    def test_implication_modus_ponens(self):
+        assert check(Implies(P(a), Q(a)), P(a), Not(Q(a))) is Verdict.UNSAT
+
+    def test_nested_and_or(self):
+        formula = And((Or((P(a), P(b))), Or((Not(P(a)), Not(P(b))))))
+        assert check(formula) is Verdict.SAT
+
+
+class TestEqualityReasoning:
+    def test_eq_diseq_conflict(self):
+        assert check(Eq(a, b), neq(a, b)) is Verdict.UNSAT
+
+    def test_transitive_equality(self):
+        assert check(Eq(a, b), Eq(b, c), neq(a, c)) is Verdict.UNSAT
+
+    def test_congruence(self):
+        assert check(Eq(a, b), neq(f(a), f(b))) is Verdict.UNSAT
+
+    def test_function_values(self):
+        assert check(Eq(f(a), a), Eq(f(b), b), Eq(a, b), neq(f(a), f(b))) is Verdict.UNSAT
+
+    def test_predicate_congruence(self):
+        assert check(P(a), Eq(a, b), Not(P(b))) is Verdict.UNSAT
+
+    def test_arithmetic_folding(self):
+        plus = App("+", (IntLit(1), IntLit(2)))
+        assert check(neq(plus, IntLit(3))) is Verdict.UNSAT
+
+    def test_comparison_folding(self):
+        lt = Pred("<", (IntLit(1), IntLit(2)))
+        assert check(Not(lt)) is Verdict.UNSAT
+
+    def test_distinct_literals(self):
+        assert check(Eq(IntLit(3), IntLit(4))) is Verdict.UNSAT
+
+
+class TestQuantifiers:
+    def test_universal_instantiation(self):
+        axiom = Forall(("x",), Implies(P(x), Q(x)), ((App("P", (x,)),),))
+        assert check(axiom, P(a), Not(Q(a))) is Verdict.UNSAT
+
+    def test_universal_with_inferred_trigger(self):
+        axiom = Forall(("x",), Implies(P(x), Q(x)))
+        assert check(axiom, P(a), Not(Q(a))) is Verdict.UNSAT
+
+    def test_instantiation_modulo_congruence(self):
+        # Trigger mentions f(x); the ground atom is on c, with c = f(a).
+        axiom = Forall(("x",), P(App("f", (x,))), ((App("f", (x,)),),))
+        assert check(axiom, Eq(c, f(a)), Not(P(c))) is Verdict.UNSAT
+
+    def test_multipattern(self):
+        axiom = Forall(
+            ("x", "y"),
+            Implies(And((P(x), Q(y))), Pred("R", (x, y))),
+            ((App("P", (x,)), App("Q", (y,))),),
+        )
+        goal_neg = Not(Pred("R", (a, b)))
+        assert check(axiom, P(a), Q(b), goal_neg) is Verdict.UNSAT
+
+    def test_nonlinear_pattern(self):
+        # Pattern R(x, x) must match R(a, b) only once a = b.
+        axiom = Forall(
+            ("x",), Implies(Pred("R", (x, x)), P(x)), ((App("R", (x, x)),),)
+        )
+        r_ab = Pred("R", (a, b))
+        assert check(axiom, r_ab, Eq(a, b), Not(P(a))) is Verdict.UNSAT
+        assert check(axiom, r_ab, Not(P(a))) is Verdict.SAT
+
+    def test_chained_instantiation_rounds(self):
+        # P(a), P(x) => P(f(x)) ... needs two rounds to reach f(f(a)).
+        axiom = Forall(("x",), Implies(P(x), P(f(x))), ((App("P", (x,)),),))
+        goal_neg = Not(P(f(f(a))))
+        assert check(axiom, P(a), goal_neg) is Verdict.UNSAT
+
+    def test_matching_loop_hits_resource_limit(self):
+        axiom = Forall(("x",), P(f(x)), ((App("P", (x,)),),))
+        limits = Limits(max_instances=50, max_rounds=10, time_budget=5.0)
+        assert check(axiom, P(a), limits=limits) is Verdict.RESOURCE_OUT
+
+    def test_forall_under_disjunction(self):
+        left = Forall(("x",), P(x), ((App("P", (x,)),),))
+        formula = Or((left, Q(a)))
+        assert check(formula, Not(Q(a)), Not(P(b)), P(c)) is Verdict.UNSAT
+
+    def test_exists_becomes_witness(self):
+        formula = Exists(("x",), P(x))
+        assert check(formula) is Verdict.SAT
+
+    def test_exists_conflict_with_universal(self):
+        exists = Exists(("x",), P(x))
+        no_p = Forall(("x",), Not(P(x)), ((App("P", (x,)),),))
+        assert check(exists, no_p) is Verdict.UNSAT
+
+
+class TestProveValid:
+    def test_modus_ponens_valid(self):
+        result = prove_valid([Implies(P(a), Q(a)), P(a)], Q(a))
+        assert result.valid
+
+    def test_invalid_goal(self):
+        result = prove_valid([P(a)], Q(a))
+        assert not result.valid
+        assert result.verdict is Verdict.SAT
+
+    def test_ordered_goal_conjunction(self):
+        # Proving (P(a) & (P(a) => Q(a) holds via axiom)) uses obligation
+        # chaining: the second conjunct's refutation may assume the first.
+        axiom = Forall(("x",), Implies(P(x), Q(x)), ((App("P", (x,)),),))
+        goal = And((P(a), Q(a)))
+        result = prove_valid([axiom, P(a)], goal)
+        assert result.valid
+
+    def test_chained_obligations(self):
+        # Goal: P(a) & Q(a), where Q(a) follows from P(a) by axiom. Without
+        # ordered negation the Q(a) branch would lack P(a).
+        axiom = Implies(P(a), Q(a))
+        goal = And((P(a), Q(a)))
+        assert prove_valid([axiom, P(a)], goal).valid
+
+    def test_stats_populated(self):
+        axiom = Forall(
+            ("x",), Implies(P(x), Q(x)), ((App("P", (x,)),),), "p-implies-q"
+        )
+        result = prove_valid([axiom, P(a)], Q(a))
+        assert result.valid
+        assert result.stats.instantiations >= 1
+        assert "p-implies-q" in result.stats.per_quantifier
+
+    def test_rejects_open_formulas(self):
+        solver = Solver()
+        with pytest.raises(ValueError):
+            solver.add(P(x))
+        with pytest.raises(ValueError):
+            solver.add_negated_goal(P(x))
+
+    def test_validity_with_case_split_goal(self):
+        goal = Or((P(a), Not(P(a))))
+        assert prove_valid([], goal).valid

@@ -1,0 +1,158 @@
+"""Unit tests for the Scope program representation."""
+
+import pytest
+
+from repro.errors import WellFormednessError
+from repro.oolong.ast import FieldDecl, GroupDecl, ProcDecl
+from repro.oolong.program import Scope
+
+STACK_SOURCE = """
+group contents
+group elems
+field cnt in elems
+field vec maps elems into contents
+proc push(st, o) modifies st.contents
+impl push(st, o) { skip }
+impl push(st, o) { assert true }
+"""
+
+
+@pytest.fixture
+def stack_scope():
+    return Scope.from_source(STACK_SOURCE)
+
+
+class TestLookups:
+    def test_groups_and_fields(self, stack_scope):
+        assert set(stack_scope.groups) == {"contents", "elems"}
+        assert set(stack_scope.fields) == {"cnt", "vec"}
+
+    def test_attribute_covers_both(self, stack_scope):
+        assert stack_scope.attribute("contents").name == "contents"
+        assert stack_scope.attribute("cnt").name == "cnt"
+        assert stack_scope.attribute("nope") is None
+
+    def test_attribute_names_in_order(self, stack_scope):
+        assert stack_scope.attribute_names() == ("contents", "elems", "cnt", "vec")
+
+    def test_proc_lookup(self, stack_scope):
+        assert stack_scope.proc("push").params == ("st", "o")
+        assert stack_scope.proc("pop") is None
+
+    def test_multiple_impls_allowed(self, stack_scope):
+        assert len(stack_scope.impls_of("push")) == 2
+
+    def test_is_pivot(self, stack_scope):
+        assert stack_scope.is_pivot("vec")
+        assert not stack_scope.is_pivot("cnt")
+        assert not stack_scope.is_pivot("contents")
+
+    def test_pivot_fields(self, stack_scope):
+        assert [f.name for f in stack_scope.pivot_fields()] == ["vec"]
+
+
+class TestDuplicateNames:
+    def test_duplicate_group(self):
+        with pytest.raises(WellFormednessError):
+            Scope([GroupDecl("g"), GroupDecl("g")])
+
+    def test_group_field_clash(self):
+        with pytest.raises(WellFormednessError):
+            Scope([GroupDecl("x"), FieldDecl("x")])
+
+    def test_proc_attribute_clash(self):
+        with pytest.raises(WellFormednessError):
+            Scope([FieldDecl("p"), ProcDecl("p", ())])
+
+    def test_two_impls_do_not_clash(self, stack_scope):
+        assert len(stack_scope) == 7
+
+
+class TestEnclosingGroups:
+    def test_direct_inclusion(self):
+        scope = Scope.from_source("group value\nfield num in value")
+        assert scope.enclosing_groups("num") == {"value"}
+
+    def test_transitive_inclusion(self):
+        scope = Scope.from_source(
+            "group a\ngroup b in a\ngroup c in b\nfield f in c"
+        )
+        assert scope.enclosing_groups("f") == {"a", "b", "c"}
+
+    def test_diamond_inclusion(self):
+        scope = Scope.from_source(
+            "group top\ngroup l in top\ngroup r in top\nfield f in l, r"
+        )
+        assert scope.enclosing_groups("f") == {"top", "l", "r"}
+
+    def test_no_inclusions(self):
+        scope = Scope.from_source("group g")
+        assert scope.enclosing_groups("g") == frozenset()
+
+    def test_field_in_multiple_groups(self):
+        # The feature Greenhouse-Boyland regions forbid: one field, two groups.
+        scope = Scope.from_source("group a\ngroup b\nfield f in a, b")
+        assert scope.enclosing_groups("f") == {"a", "b"}
+
+    def test_unknown_attribute_raises(self):
+        scope = Scope.from_source("group g")
+        with pytest.raises(WellFormednessError):
+            scope.enclosing_groups("missing")
+
+    def test_local_includes_is_reflexive(self):
+        scope = Scope.from_source("group g\nfield f in g")
+        assert scope.local_includes("f", "f")
+        assert scope.local_includes("g", "g")
+        assert scope.local_includes("g", "f")
+        assert not scope.local_includes("f", "g")
+
+
+class TestRepStructure:
+    def test_rep_pairs(self, stack_scope):
+        assert stack_scope.rep_pairs("vec") == (("contents", "elems"),)
+
+    def test_rep_pairs_non_pivot_empty(self, stack_scope):
+        assert stack_scope.rep_pairs("cnt") == ()
+
+    def test_rep_pairs_multiple_clauses(self):
+        scope = Scope.from_source(
+            "group g\ngroup h\nfield x\nfield f maps x into g maps x into h"
+        )
+        assert set(scope.rep_pairs("f")) == {("g", "x"), ("h", "x")}
+
+    def test_all_rep_triples(self, stack_scope):
+        assert stack_scope.all_rep_triples() == (("vec", "contents", "elems"),)
+
+    def test_cyclic_rep_inclusion_representable(self):
+        # The linked-list example: g —next→ g is legal (only *local* group
+        # inclusion must be acyclic).
+        scope = Scope.from_source(
+            "group g\nfield value in g\nfield next maps g into g"
+        )
+        assert scope.rep_pairs("next") == (("g", "g"),)
+
+
+class TestExtension:
+    def test_extend_adds_declarations(self, stack_scope):
+        bigger = stack_scope.extend([GroupDecl("extra")])
+        assert bigger.is_group("extra")
+        assert len(bigger) == len(stack_scope) + 1
+
+    def test_extend_with_scope(self, stack_scope):
+        other = Scope([GroupDecl("other")])
+        assert stack_scope.extend(other).is_group("other")
+
+    def test_extend_rejects_clashes(self, stack_scope):
+        with pytest.raises(WellFormednessError):
+            stack_scope.extend([GroupDecl("contents")])
+
+    def test_original_unchanged(self, stack_scope):
+        stack_scope.extend([GroupDecl("extra")])
+        assert not stack_scope.is_group("extra")
+
+    def test_restrict_to(self, stack_scope):
+        from repro.oolong.ast import ImplDecl
+
+        interface = stack_scope.restrict_to(lambda d: not isinstance(d, ImplDecl))
+        assert interface.impls_of("push") == ()
+        assert interface.proc("push") is not None

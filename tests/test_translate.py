@@ -1,0 +1,200 @@
+"""Unit tests for the tr translation and the mod/incl/ownExcl macros."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.logic.nnf import FreshNames
+from repro.logic.terms import (
+    App,
+    Const,
+    Eq,
+    FalseF,
+    Forall,
+    IntLit,
+    Not,
+    Or,
+    Pred,
+    TrueF,
+    Var,
+)
+from repro.oolong.ast import Designator
+from repro.oolong.parser import parse_expression
+from repro.vcgen.translate import (
+    TranslationContext,
+    incl_formula,
+    mod_formula,
+    own_excl_formula,
+    tr_designator_prefix,
+    tr_formula,
+    tr_term,
+    welldef_premises,
+)
+from repro.vcgen.vocab import NULL, TRUE_CONST, attr_const, entry_store, sel
+
+S0 = entry_store()
+
+
+def ctx_with(*names):
+    return TranslationContext(env={name: Const(name) for name in names})
+
+
+class TestTrTerm:
+    def test_constants(self):
+        ctx = ctx_with()
+        assert tr_term(parse_expression("null"), S0, ctx) == NULL
+        assert tr_term(parse_expression("true"), S0, ctx) == TRUE_CONST
+        assert tr_term(parse_expression("7"), S0, ctx) == IntLit(7)
+
+    def test_variable_lookup(self):
+        ctx = ctx_with("t")
+        assert tr_term(parse_expression("t"), S0, ctx) == Const("t")
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(VerificationError):
+            tr_term(parse_expression("ghost"), S0, ctx_with())
+
+    def test_field_access_becomes_sel(self):
+        ctx = ctx_with("t")
+        term = tr_term(parse_expression("t.f"), S0, ctx)
+        assert term == sel(S0, Const("t"), attr_const("f"))
+
+    def test_nested_field_access(self):
+        ctx = ctx_with("t")
+        term = tr_term(parse_expression("t.c.d"), S0, ctx)
+        inner = sel(S0, Const("t"), attr_const("c"))
+        assert term == sel(S0, inner, attr_const("d"))
+
+    def test_arithmetic(self):
+        ctx = ctx_with("x")
+        term = tr_term(parse_expression("x + 1"), S0, ctx)
+        assert term == App("+", (Const("x"), IntLit(1)))
+
+    def test_unary_minus_encodes_as_subtraction(self):
+        ctx = ctx_with("x")
+        assert tr_term(parse_expression("-x"), S0, ctx) == App(
+            "-", (IntLit(0), Const("x"))
+        )
+
+    def test_boolean_op_in_term_position_is_uninterpreted(self):
+        ctx = ctx_with("x", "y")
+        term = tr_term(parse_expression("x = y"), S0, ctx)
+        assert term == App("@=", (Const("x"), Const("y")))
+
+
+class TestTrFormula:
+    def test_equality(self):
+        ctx = ctx_with("x", "y")
+        assert tr_formula(parse_expression("x = y"), S0, ctx) == Eq(
+            Const("x"), Const("y")
+        )
+
+    def test_disequality(self):
+        ctx = ctx_with("x")
+        formula = tr_formula(parse_expression("x != null"), S0, ctx)
+        assert formula == Not(Eq(Const("x"), NULL))
+
+    def test_comparison(self):
+        ctx = ctx_with("x")
+        formula = tr_formula(parse_expression("x < 3"), S0, ctx)
+        assert formula == Pred("<", (Const("x"), IntLit(3)))
+
+    def test_connectives(self):
+        ctx = ctx_with("a", "b")
+        formula = tr_formula(parse_expression("a = 1 && !(b = 2)"), S0, ctx)
+        assert "Eq" in type(formula.conjuncts[0]).__name__
+        assert isinstance(formula.conjuncts[1], Not)
+
+    def test_boolean_constants(self):
+        ctx = ctx_with()
+        assert tr_formula(parse_expression("true"), S0, ctx) == TrueF()
+        assert tr_formula(parse_expression("false"), S0, ctx) == FalseF()
+
+    def test_boolean_variable_reads_as_eq_true(self):
+        ctx = ctx_with("b")
+        formula = tr_formula(parse_expression("b"), S0, ctx)
+        assert formula == Eq(Const("b"), TRUE_CONST)
+
+
+class TestWellDef:
+    def test_no_dereference_no_premise(self):
+        ctx = ctx_with("x")
+        assert welldef_premises([parse_expression("x + 1")], S0, ctx) == TrueF()
+
+    def test_single_dereference(self):
+        ctx = ctx_with("t")
+        premise = welldef_premises([parse_expression("t.f")], S0, ctx)
+        parts = premise.conjuncts
+        assert Not(Eq(Const("t"), NULL)) in parts
+        assert Pred("alive", (S0, Const("t"))) in parts
+
+    def test_chain_covers_every_prefix(self):
+        ctx = ctx_with("t")
+        premise = welldef_premises([parse_expression("t.c.d")], S0, ctx)
+        inner = sel(S0, Const("t"), attr_const("c"))
+        assert Not(Eq(inner, NULL)) in premise.conjuncts
+        assert Not(Eq(Const("t"), NULL)) in premise.conjuncts
+
+    def test_duplicates_collapsed(self):
+        ctx = ctx_with("t")
+        premise = welldef_premises(
+            [parse_expression("t.f"), parse_expression("t.g")], S0, ctx
+        )
+        count = sum(1 for c in premise.conjuncts if c == Not(Eq(Const("t"), NULL)))
+        assert count == 1
+
+
+class TestDesignators:
+    def test_root_only(self):
+        designator = Designator("t", (), "g")
+        term = tr_designator_prefix(designator, {"t": Const("t")}, S0)
+        assert term == Const("t")
+
+    def test_path_reads_through_store(self):
+        designator = Designator("t", ("c", "d"), "g")
+        term = tr_designator_prefix(designator, {"t": Const("t")}, S0)
+        inner = sel(S0, Const("t"), attr_const("c"))
+        assert term == sel(S0, inner, attr_const("d"))
+
+    def test_unbound_root_raises(self):
+        with pytest.raises(VerificationError):
+            tr_designator_prefix(Designator("t", (), "g"), {}, S0)
+
+
+class TestMacros:
+    W = (Designator("t", (), "g"),)
+    ENV = {"t": Const("t")}
+
+    def test_incl_is_disjunction_of_inc(self):
+        formula = incl_formula(Const("x"), attr_const("f"), self.W, self.ENV, S0)
+        assert formula == Pred(
+            "inc", (S0, Const("t"), attr_const("g"), Const("x"), attr_const("f"))
+        )
+
+    def test_incl_empty_modifies_is_false(self):
+        assert incl_formula(Const("x"), attr_const("f"), (), self.ENV, S0) == FalseF()
+
+    def test_mod_adds_unallocated_escape(self):
+        formula = mod_formula(Const("x"), attr_const("f"), self.W, self.ENV, S0)
+        assert isinstance(formula, Or)
+        assert formula.disjuncts[0] == Not(Pred("alive", (S0, Const("x"))))
+
+    def test_mod_with_empty_modifies(self):
+        formula = mod_formula(Const("x"), attr_const("f"), (), self.ENV, S0)
+        assert formula == Not(Pred("alive", (S0, Const("x"))))
+
+    def test_own_excl_shape(self):
+        formula = own_excl_formula(Const("t"), self.W, self.ENV, S0, FreshNames())
+        assert isinstance(formula, Forall)
+        assert len(formula.vars) == 4
+        assert formula.name == "ownExcl"
+        assert formula.triggers  # hand-written trigger present
+
+    def test_own_excl_empty_modifies_is_trivial(self):
+        formula = own_excl_formula(Const("t"), (), self.ENV, S0, FreshNames())
+        assert formula == TrueF()
+
+    def test_own_excl_fresh_vars_distinct_between_calls(self):
+        fresh = FreshNames()
+        first = own_excl_formula(Const("t"), self.W, self.ENV, S0, fresh)
+        second = own_excl_formula(Const("t"), self.W, self.ENV, S0, fresh)
+        assert set(first.vars).isdisjoint(set(second.vars))

@@ -1,0 +1,200 @@
+"""Unit tests for well-formedness checking (self-contained names etc.)."""
+
+import pytest
+
+from repro.errors import WellFormednessError
+from repro.oolong.program import Scope
+from repro.oolong.wellformed import check_well_formed
+
+
+def well_formed(source):
+    scope = Scope.from_source(source)
+    check_well_formed(scope)
+    return scope
+
+
+def rejected(source, fragment):
+    scope = Scope.from_source(source)
+    with pytest.raises(WellFormednessError) as excinfo:
+        check_well_formed(scope)
+    assert fragment in str(excinfo.value)
+
+
+class TestDeclarationRules:
+    def test_minimal_program_accepted(self):
+        well_formed("group g\nproc p(t) modifies t.g\nimpl p(t) { skip }")
+
+    def test_group_in_undeclared_group(self):
+        rejected("group g in missing", "not a declared group")
+
+    def test_group_in_field_rejected(self):
+        rejected("field f\ngroup g in f", "not a declared group")
+
+    def test_field_in_undeclared_group(self):
+        rejected("field f in missing", "not a declared group")
+
+    def test_maps_undeclared_attribute(self):
+        rejected("group g\nfield f maps missing into g", "maps undeclared attribute")
+
+    def test_maps_into_undeclared_group(self):
+        rejected("field x\nfield f maps x into missing", "not a declared group")
+
+    def test_maps_into_field_rejected(self):
+        rejected("field x\nfield y\nfield f maps x into y", "not a declared group")
+
+    def test_cyclic_groups_rejected(self):
+        rejected("group a in b\ngroup b in a", "cyclic group inclusion")
+
+    def test_self_cycle_rejected(self):
+        rejected("group a in a", "cyclic group inclusion")
+
+    def test_long_cycle_rejected(self):
+        rejected(
+            "group a in b\ngroup b in c\ngroup c in a", "cyclic group inclusion"
+        )
+
+    def test_dag_accepted(self):
+        well_formed("group top\ngroup l in top\ngroup r in top\ngroup b in l, r")
+
+    def test_cyclic_rep_inclusion_accepted(self):
+        # Only local inclusions must be acyclic; g —next→ g is the paper's
+        # linked-list example.
+        well_formed("group g\nfield next maps g into g")
+
+
+class TestProcRules:
+    def test_duplicate_parameter(self):
+        rejected("group g\nproc p(t, t) modifies t.g", "repeats a parameter")
+
+    def test_modifies_root_must_be_formal(self):
+        rejected("group g\nproc p(t) modifies u.g", "not rooted at a formal")
+
+    def test_modifies_path_must_be_fields(self):
+        rejected(
+            "group g\ngroup h\nproc p(t) modifies t.h.g",
+            "not a declared field",
+        )
+
+    def test_modifies_attr_must_be_declared(self):
+        rejected("proc p(t) modifies t.mystery", "not a declared attribute")
+
+    def test_modifies_attr_may_be_field(self):
+        well_formed("field obj\nproc m(st, r) modifies r.obj")
+
+    def test_modifies_deep_path(self):
+        well_formed("group g\nfield c\nfield d\nproc p(t) modifies t.c.d.g")
+
+
+class TestImplRules:
+    def test_impl_of_undeclared_proc(self):
+        rejected("impl p(t) { skip }", "undeclared procedure")
+
+    def test_impl_params_must_match(self):
+        rejected(
+            "group g\nproc p(t) modifies t.g\nimpl p(u) { skip }",
+            "must repeat the parameter list",
+        )
+
+    def test_unbound_variable(self):
+        rejected("proc p(t)\nimpl p(t) { x := 1 }", "unbound variable")
+
+    def test_var_binds(self):
+        well_formed("proc p(t)\nimpl p(t) { var x in x := 1 end }")
+
+    def test_var_shadowing_formal_rejected(self):
+        rejected("proc p(t)\nimpl p(t) { var t in skip end }", "shadows")
+
+    def test_var_shadowing_var_rejected(self):
+        rejected(
+            "proc p(t)\nimpl p(t) { var x in var x in skip end end }", "shadows"
+        )
+
+    def test_assignment_to_formal_rejected(self):
+        rejected("proc p(t)\nimpl p(t) { t := null }", "formal parameter")
+
+    def test_group_in_command_rejected(self):
+        rejected(
+            "group g\nproc p(t) modifies t.g\nimpl p(t) { assert t.g = null }",
+            "data group",
+        )
+
+    def test_undeclared_field_in_command(self):
+        rejected("proc p(t)\nimpl p(t) { assert t.f = null }", "undeclared field")
+
+    def test_call_undeclared_proc(self):
+        rejected("proc p(t)\nimpl p(t) { q(t) }", "undeclared procedure")
+
+    def test_call_wrong_arity(self):
+        rejected(
+            "proc p(t)\nproc q(a, b)\nimpl p(t) { q(t) }", "passes 1 arguments"
+        )
+
+    def test_call_correct_arity(self):
+        well_formed("proc p(t)\nproc q(a, b)\nimpl p(t) { q(t, t) }")
+
+    def test_field_write_checked(self):
+        rejected("proc p(t)\nimpl p(t) { t.f := 1 }", "undeclared field")
+
+    def test_field_access_in_args_checked(self):
+        rejected("proc p(t)\nproc q(a)\nimpl p(t) { q(t.f) }", "undeclared field")
+
+
+class TestPaperPrograms:
+    def test_section_3_stack_client(self):
+        well_formed(
+            """
+            group contents
+            field cnt
+            field obj
+            proc push(st, o) modifies st.contents
+            proc m(st, r) modifies r.obj
+            proc q()
+            impl q() {
+              var st in var result in var v in var n in
+                st := new() ; result := new() ;
+                m(st, result) ;
+                v := result.obj ;
+                n := v.cnt ;
+                push(st, 3) ;
+                assert n = v.cnt
+              end end end end
+            }
+            """
+        )
+
+    def test_section_5_first_example(self):
+        well_formed(
+            """
+            field c
+            field d
+            field f
+            group g
+            proc p(t) modifies t.c.d.g
+            proc q(u) modifies u.g
+            impl p(t) {
+              assume t != null ;
+              var y in
+                y := t.f ;
+                q(t.c.d) ;
+                assert y = t.f
+              end
+            }
+            """
+        )
+
+    def test_section_5_linked_list(self):
+        well_formed(
+            """
+            group g
+            field value in g
+            field next maps g into g
+            proc updateAll(t) modifies t.g
+            impl updateAll(t) {
+              assume t != null ;
+              t.value := t.value + 1 ;
+              ( assume t.next = null
+                []
+                assume t.next != null ; updateAll(t.next) )
+            }
+            """
+        )

@@ -1,0 +1,206 @@
+"""Unit tests for weakest-liberal-precondition generation (Figures 2-3)."""
+
+import pytest
+
+from repro.logic.nnf import FreshNames
+from repro.logic.subst import formula_free_vars
+from repro.logic.terms import (
+    And,
+    App,
+    Const,
+    Eq,
+    Forall,
+    Implies,
+    IntLit,
+    Not,
+    Or,
+    Pred,
+    TrueF,
+    Var,
+)
+from repro.oolong.parser import parse_command
+from repro.oolong.program import Scope
+from repro.vcgen.translate import TranslationContext
+from repro.vcgen.vocab import attr_const, entry_store, new, sel, succ, upd
+from repro.vcgen.wlp import WlpContext, wlp
+
+SCOPE_SRC = """
+group g
+field f in g
+field h
+proc self(t) modifies t.g
+proc callee(u) modifies u.g
+proc silent(u)
+"""
+
+
+def make_wctx(scope_src=SCOPE_SRC, proc_name="self"):
+    scope = Scope.from_source(scope_src)
+    proc = scope.proc(proc_name)
+    ctx = TranslationContext(env={p: Const(p) for p in proc.params})
+    return WlpContext(scope=scope, proc=proc, ctx=ctx, entry_store=entry_store())
+
+
+def wlp_of(command_text, post=TrueF(), wctx=None):
+    wctx = wctx or make_wctx()
+    return wlp(parse_command(command_text), post, wctx)
+
+
+STORE = Var("$")
+Q = Pred("Q", (Var("$"),))
+
+
+def unmarked(formula):
+    """Drop the inert @obligation marker atoms from a conjunction."""
+    from repro.logic.terms import OBLIGATION_MARKER, conj
+
+    if isinstance(formula, And):
+        kept = tuple(
+            c
+            for c in formula.conjuncts
+            if not (isinstance(c, Pred) and c.name == OBLIGATION_MARKER)
+        )
+        return conj(kept)
+    return formula
+
+
+class TestBasicCommands:
+    def test_skip(self):
+        assert wlp_of("skip", Q) == Q
+
+    def test_assert_conjoins(self):
+        result = wlp_of("assert t != null", Q)
+        assert isinstance(result, And)
+        assert result.conjuncts[-1] == Q
+
+    def test_assume_implies(self):
+        result = wlp_of("assume t != null", Q)
+        assert isinstance(result, Implies)
+        assert result.consequent == Q
+
+    def test_seq_composes_backwards(self):
+        # wlp(x:=1 ; assert x=1, true) substitutes before asserting.
+        result = wlp_of("var x in x := 1 ; assert x = 1 end")
+        assert unmarked(result.body) == Eq(IntLit(1), IntLit(1))
+
+    def test_choice_is_conjunction(self):
+        result = wlp_of("skip [] skip", Q)
+        assert result == And((Q, Q))
+
+    def test_var_quantifies(self):
+        result = wlp_of("var x in skip end", Q)
+        assert result == Forall(("x",), Q)
+
+    def test_local_assign_substitutes(self):
+        post = Pred("P", (Var("x"),))
+        result = wlp_of("var x in x := 5 end", post)
+        assert result == Forall(("x",), Pred("P", (IntLit(5),)))
+
+
+class TestHeapCommands:
+    def test_field_write_licence_and_update(self):
+        post = Pred("P", (STORE,))
+        result = wlp_of("t.f := 1", post)
+        # guard => (marker & mod & P[upd])
+        assert isinstance(result, Implies)
+        body = unmarked(result.consequent)
+        licence, updated = body.conjuncts
+        assert isinstance(licence, Or)  # mod = !alive | incl
+        expected_store = upd(STORE, Const("t"), attr_const("f"), IntLit(1))
+        assert updated == Pred("P", (expected_store,))
+
+    def test_field_write_licence_against_entry_store(self):
+        result = wlp_of("t.f := 1", Q)
+        licence = unmarked(result.consequent).conjuncts[0]
+        inc_atom = licence.disjuncts[1]
+        assert inc_atom.args[0] == entry_store()
+
+    def test_local_alloc_simultaneous_substitution(self):
+        post = Pred("P", (Var("x"), STORE))
+        result = wlp_of("var x in x := new() end", post)
+        assert result == Forall(("x",), Pred("P", (new(STORE), succ(STORE))))
+
+    def test_field_alloc_allocates_then_writes(self):
+        post = Pred("P", (STORE,))
+        result = wlp_of("t.f := new()", post)
+        updated = unmarked(result.consequent).conjuncts[1]
+        expected = upd(succ(STORE), Const("t"), attr_const("f"), new(STORE))
+        assert updated == Pred("P", (expected,))
+
+    def test_welldef_guard_on_read(self):
+        result = wlp_of("var x in x := t.f end", TrueF())
+        inner = result.body
+        assert isinstance(inner, Implies)
+        premise = inner.antecedent
+        assert Not(Eq(Const("t"), Const("null"))) in premise.conjuncts
+
+
+class TestCalls:
+    def test_call_emits_caller_licence(self):
+        result = unmarked(wlp_of("callee(t)", Q))
+        licence = result.conjuncts[0]
+        assert isinstance(licence, Or)
+        # callee may modify t.g; caller's own list is t.g — inc(…t g t g).
+        inc_atom = licence.disjuncts[1]
+        assert inc_atom.name == "inc"
+        assert inc_atom.args[1:] == (
+            Const("t"),
+            attr_const("g"),
+            Const("t"),
+            attr_const("g"),
+        )
+
+    def test_call_emits_owner_exclusion(self):
+        result = unmarked(wlp_of("callee(t)", Q))
+        own = result.conjuncts[1]
+        assert isinstance(own, Forall)
+        assert own.name == "ownExcl"
+
+    def test_call_to_silent_proc_has_no_licence_or_ownexcl(self):
+        result = wlp_of("silent(t)", Q)
+        # Only the frame quantifier remains.
+        assert isinstance(result, Forall)
+        assert isinstance(result.body, Implies)
+
+    def test_frame_shifts_post_to_fresh_store(self):
+        result = wlp_of("silent(t)", Q)
+        post_store = result.vars[0]
+        shifted = result.body.consequent
+        assert shifted == Pred("Q", (Var(post_store),))
+
+    def test_frame_carries_named_quantifiers(self):
+        result = wlp_of("silent(t)", Q)
+        frame = result.body.antecedent
+        names = {q.name for q in frame.conjuncts}
+        assert names == {"call-frame-alive", "call-frame-sel"}
+
+    def test_naive_mode_drops_owner_exclusion(self):
+        wctx = make_wctx()
+        wctx.owner_exclusion = False
+        result = wlp(parse_command("callee(t)"), Q, wctx)
+        assert not any(
+            isinstance(c, Forall) and c.name == "ownExcl"
+            for c in (result.conjuncts if isinstance(result, And) else [result])
+        )
+
+    def test_actuals_substituted_into_callee_modifies(self):
+        # callee's u.g with actual t.h: designator owner is sel($, t, h).
+        result = wlp_of("callee(t.h)", Q)
+        body = result.consequent if isinstance(result, Implies) else result
+        licence = unmarked(body).conjuncts[0]
+        inc_atom = licence.disjuncts[1]
+        assert inc_atom.args[3] == sel(STORE, Const("t"), attr_const("h"))
+
+
+class TestClosedness:
+    def test_wlp_is_closed_after_store_substitution(self):
+        from repro.logic.subst import subst_formula
+
+        for text in (
+            "t.f := 1",
+            "var x in x := t.f ; callee(t) ; assert x = t.f end",
+            "t.f := new() [] skip",
+        ):
+            formula = wlp_of(text)
+            closed = subst_formula(formula, {"$": entry_store()})
+            assert formula_free_vars(closed) == frozenset(), text
