@@ -8,6 +8,9 @@ This package implements, from scratch:
   well-formedness) — :mod:`repro.oolong`;
 * the **pivot uniqueness** syntactic restriction checker —
   :mod:`repro.restrictions`;
+* a **static-analysis subsystem** (CFGs, a forward-dataflow engine,
+  flow-sensitive pivot escape analysis, modifies-list inference, lints,
+  and the shared ``OLxxx`` diagnostics engine) — :mod:`repro.analysis`;
 * a first-order **logic** layer (terms, formulas, NNF, skolemization) —
   :mod:`repro.logic`;
 * a Simplify-style **theorem prover** (congruence closure, E-matching,
@@ -39,14 +42,30 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CheckReport",
+    "Diagnostic",
     "ImplVerdict",
+    "LintResult",
+    "Severity",
     "check_program",
     "check_scope",
+    "lint_program",
+    "lint_scope",
     "parse_program",
     "__version__",
 ]
 
-_API_NAMES = ("CheckReport", "ImplVerdict", "check_program", "check_scope", "parse_program")
+_API_NAMES = (
+    "CheckReport",
+    "Diagnostic",
+    "ImplVerdict",
+    "LintResult",
+    "Severity",
+    "check_program",
+    "check_scope",
+    "lint_program",
+    "lint_scope",
+    "parse_program",
+)
 
 
 def __getattr__(name):

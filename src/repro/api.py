@@ -1,15 +1,28 @@
-"""High-level convenience API: parse and check oolong programs."""
+"""High-level convenience API: parse, lint, and check oolong programs."""
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.engine import LintResult, lint_scope
 from repro.oolong.program import Scope
 from repro.oolong.wellformed import check_well_formed
 from repro.prover.core import Limits
 from repro.vcgen.checker import CheckReport, ImplVerdict, check_scope
 
-__all__ = ["CheckReport", "ImplVerdict", "check_program", "check_scope", "parse_program"]
+__all__ = [
+    "CheckReport",
+    "Diagnostic",
+    "ImplVerdict",
+    "LintResult",
+    "Severity",
+    "check_program",
+    "check_scope",
+    "lint_program",
+    "lint_scope",
+    "parse_program",
+]
 
 
 def parse_program(source: str) -> Scope:
@@ -22,3 +35,8 @@ def parse_program(source: str) -> Scope:
 def check_program(source: str, limits: Optional[Limits] = None) -> CheckReport:
     """Parse, validate, and verify an oolong program text."""
     return check_scope(parse_program(source), limits)
+
+
+def lint_program(source: str, filename: Optional[str] = None) -> LintResult:
+    """Parse and statically analyse an oolong program text (no prover)."""
+    return lint_scope(Scope.from_source(source, filename))

@@ -1,21 +1,53 @@
-"""Command-line entry point: ``oolong-check [options] file.oolong ...``.
+"""Command-line entry points.
 
-Runs the full pipeline — parse, well-formedness, pivot uniqueness, VC
+``oolong-check [options] file.oolong ...`` runs the full pipeline —
+parse, well-formedness, static-analysis pre-filter, pivot uniqueness, VC
 generation, mechanical proof — and prints a per-implementation report,
 exiting non-zero if any check fails.
+
+``oolong-check lint [options] file.oolong ...`` (also installed as
+``oolong-lint``) runs only the static analyses: the syntactic restriction
+pass, the flow-sensitive pivot escape analysis, modifies-list inference,
+and the declaration/reachability lints. No prover is involved, so it is
+fast enough for editor integration.
+
+Both accept ``--format text|json`` and ``--fail-on error|warning``.
+Sources are parsed per file, so every diagnostic position names the file
+it points into.
+
+Exit codes: 0 — clean; 1 — findings at or above the ``--fail-on``
+threshold (or a failed proof in check mode); 2 — unreadable input, parse
+error, or ill-formed scope.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.oolong.program import Scope
 from repro.oolong.wellformed import check_well_formed
 from repro.prover.core import Limits
 from repro.vcgen.checker import check_scope
+
+
+def _add_shared_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("files", nargs="+", help="oolong source files")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning"),
+        default="error",
+        help="lowest diagnostic severity that makes the exit code non-zero "
+        "(default: error)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -26,7 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
             "data groups (PLDI 2002 reproduction)."
         ),
     )
-    parser.add_argument("files", nargs="+", help="oolong source files")
+    _add_shared_arguments(parser)
     parser.add_argument(
         "--time-budget",
         type=float,
@@ -46,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         "for experiments only)",
     )
     parser.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="disable the static-analysis pre-filter",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print prover statistics per implementation",
@@ -53,42 +90,139 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    source_parts: List[str] = []
-    for path in args.files:
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="oolong-lint",
+        description=(
+            "Run only the static analyses (restrictions, escape analysis, "
+            "modifies inference, lints) over oolong programs — no prover."
+        ),
+    )
+    _add_shared_arguments(parser)
+    parser.add_argument(
+        "--no-restrictions",
+        action="store_true",
+        help="skip the OL1xx restriction family (syntactic and "
+        "flow-sensitive pivot passes)",
+    )
+    return parser
+
+
+def _read_sources(
+    paths: List[str],
+) -> Tuple[Optional[List[Tuple[str, str]]], Optional[str]]:
+    """Read every input file; (sources, None) or (None, error message)."""
+    sources: List[Tuple[str, str]] = []
+    for path in paths:
         try:
             with open(path) as handle:
-                source_parts.append(handle.read())
+                sources.append((path, handle.read()))
         except OSError as error:
-            print(f"error: cannot read {path}: {error}", file=sys.stderr)
-            return 2
-    source = "\n".join(source_parts)
+            return None, f"cannot read {path}: {error}"
+    return sources, None
+
+
+def _parse_scope(sources: List[Tuple[str, str]]) -> Scope:
+    """Parse each file separately so positions carry the right file name."""
+    return Scope.from_sources(sources)
+
+
+def _severity_threshold(name: str):
+    from repro.analysis.diagnostics import Severity
+
+    return Severity.ERROR if name == "error" else Severity.WARNING
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """The ``oolong-check`` entry point (with the ``lint`` subcommand)."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
+    return check_main(argv)
+
+
+def check_main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    sources, read_error = _read_sources(args.files)
+    if read_error is not None:
+        print(f"error: {read_error}", file=sys.stderr)
+        return 2
     limits = Limits(
         time_budget=args.time_budget, max_instances=args.max_instances
     )
     try:
-        scope = Scope.from_source(source)
+        scope = _parse_scope(sources)
         check_well_formed(scope)
         report = check_scope(
-            scope, limits, enforce_restrictions=not args.no_restrictions
+            scope,
+            limits,
+            enforce_restrictions=not args.no_restrictions,
+            lint=not args.no_lint,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    for violation in report.pivot_violations:
-        print(f"restriction violation: {violation}")
-    for verdict in report.verdicts:
-        line = verdict.describe()
-        if args.stats:
-            stats = verdict.stats
-            line += (
-                f"  [instances={stats.instantiations} branches={stats.branches}"
-                f" rounds={stats.rounds} time={stats.elapsed:.2f}s]"
+    if args.format == "json":
+        from repro.analysis.diagnostics import render_json
+
+        payload = report.to_dict()
+        print(render_json([], **payload))
+    else:
+        print(report.describe(stats=args.stats))
+    from repro.analysis.diagnostics import exceeds_threshold
+
+    failed = not report.ok or exceeds_threshold(
+        report.diagnostics, _severity_threshold(args.fail_on)
+    )
+    return 1 if failed else 0
+
+
+def lint_main(argv: Optional[List[str]] = None) -> int:
+    """The ``oolong-lint`` / ``oolong-check lint`` entry point."""
+    args = build_lint_parser().parse_args(argv)
+    sources, read_error = _read_sources(args.files)
+    if read_error is not None:
+        print(f"error: {read_error}", file=sys.stderr)
+        return 2
+    from repro.analysis.diagnostics import (
+        exceeds_threshold,
+        render_json,
+        render_text,
+    )
+    from repro.analysis.engine import lint_scope
+
+    try:
+        scope = _parse_scope(sources)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = lint_scope(
+        scope,
+        include_restrictions=not args.no_restrictions,
+        include_flow=not args.no_restrictions,
+    )
+    if args.format == "json":
+        print(
+            render_json(
+                result.diagnostics,
+                inferred_modifies={
+                    proc: list(designators)
+                    for proc, designators in sorted(
+                        result.inferred_modifies.items()
+                    )
+                },
+                ok=result.ok,
             )
-        print(line)
-    print("OK" if report.ok else "FAILED")
-    return 0 if report.ok else 1
+        )
+    else:
+        text = render_text(result.diagnostics, dict(sources))
+        if text:
+            print(text)
+        print(f"{len(result.diagnostics)} diagnostic(s)")
+    if exceeds_threshold(result.diagnostics, _severity_threshold(args.fail_on)):
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -66,6 +66,30 @@ def generate_pivot_tower(depth: int) -> str:
     return "\n".join(lines)
 
 
+def generate_benign_copies(copies: int) -> str:
+    """Implementations that copy their formal through ``copies`` locals
+    without ever storing it to the heap.
+
+    Each copy is a *restriction* violation (the syntactic pass must flag
+    it — the paper's rules confine formals unconditionally), but the
+    copied value provably never escapes, so the flow-sensitive escape
+    analysis reports nothing: the generator scales the precision gap the
+    differential test measures.
+    """
+    lines: List[str] = ["group data", "field payload in data"]
+    lines.append("proc probe(t) modifies t.data")
+    chain = []
+    for index in range(copies):
+        source = "t" if index == 0 else f"c{index - 1}"
+        chain.append(f"c{index} := {source}")
+    binders = " ".join(f"var c{index} in" for index in range(copies))
+    ends = " ".join("end" for _ in range(copies))
+    body_parts = ["assume t != null"] + chain + ["t.payload := 1"]
+    body = " ;\n    ".join(body_parts)
+    lines.append(f"impl probe(t) {{\n  {binders}\n    {body}\n  {ends}\n}}")
+    return "\n".join(lines)
+
+
 def generate_call_chain(length: int) -> str:
     """A chain of procedures p0 -> p1 -> ... each with the same licence.
 

@@ -228,6 +228,40 @@ impl updateAll(t) {
 }
 """
 
+#: Section 3.0's leak laundered through an intermediate local: the
+#: syntactic pass flags the pivot *read* (``tmp := st.vec``) but cannot
+#: see that the store ``r.obj := tmp`` is the escape — only the
+#: flow-sensitive analysis connects the two and reports the full path.
+SECTION3_LAUNDERED_M = """
+field vec maps cnt into contents
+impl m(st, r) {
+  var tmp in
+    tmp := st.vec ;
+    r.obj := tmp
+  end
+}
+"""
+
+#: A rational-number library whose modifies list over-approximates: the
+#: `cache` group is declared modifiable but no implementation ever
+#: touches it. Verifies fine (frames may be over-broad); the inference
+#: pass reports the removable group as an OL302 lint.
+RATIONAL_OVERBROAD = """
+group value
+group cache
+field num in value
+field den in value
+field memo in cache
+proc normalize(r) modifies r.value, r.cache
+impl normalize(r) {
+  assume r != null ;
+  r.num := 1 ;
+  r.den := 1
+}
+proc touch_memo(r) modifies r.cache
+impl touch_memo(r) { assume r != null ; r.memo := 0 }
+"""
+
 #: Every verifiable program of the paper, keyed by experiment id.
 PAPER_PROGRAMS = {
     "RATIONAL": RATIONAL,

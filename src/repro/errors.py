@@ -7,18 +7,26 @@ a source position when one is available.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 
 @dataclass(frozen=True)
 class SourcePosition:
-    """A 1-based line/column position in an oolong source text."""
+    """A 1-based line/column position in an oolong source text.
+
+    ``file`` names the source the position refers to (``None`` for
+    anonymous texts). It is excluded from equality so programmatically
+    built positions compare equal to parsed ones regardless of origin.
+    """
 
     line: int
     column: int
+    file: Optional[str] = field(default=None, compare=False)
 
     def __str__(self) -> str:
+        if self.file is not None:
+            return f"{self.file}:{self.line}:{self.column}"
         return f"{self.line}:{self.column}"
 
 

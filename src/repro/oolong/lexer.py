@@ -7,7 +7,7 @@ comments are ``/* ... */`` and may span lines (but do not nest).
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 from repro.errors import LexError, SourcePosition
 from repro.oolong.tokens import KEYWORDS, Token, TokenKind
@@ -44,8 +44,9 @@ _ONE_CHAR = {
 class Lexer:
     """Tokenizes one oolong source text."""
 
-    def __init__(self, source: str):
+    def __init__(self, source: str, filename: Optional[str] = None):
         self._source = source
+        self._filename = filename
         self._index = 0
         self._line = 1
         self._column = 1
@@ -62,7 +63,7 @@ class Lexer:
     # -- scanning helpers -------------------------------------------------
 
     def _position(self) -> SourcePosition:
-        return SourcePosition(self._line, self._column)
+        return SourcePosition(self._line, self._column, self._filename)
 
     def _at_end(self) -> bool:
         return self._index >= len(self._source)
@@ -139,6 +140,6 @@ class Lexer:
         return Token(TokenKind.INT, "".join(chars), position)
 
 
-def tokenize(source: str) -> List[Token]:
+def tokenize(source: str, filename: Optional[str] = None) -> List[Token]:
     """Tokenize ``source`` into a list ending with an EOF token."""
-    return list(Lexer(source).tokens())
+    return list(Lexer(source, filename).tokens())

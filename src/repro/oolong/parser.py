@@ -394,9 +394,13 @@ class Parser:
             )
 
 
-def parse_program_text(source: str) -> Tuple[Decl, ...]:
-    """Parse an oolong program source text into a declaration tuple."""
-    parser = Parser(tokenize(source))
+def parse_program_text(source: str, filename=None) -> Tuple[Decl, ...]:
+    """Parse an oolong program source text into a declaration tuple.
+
+    ``filename``, when given, is recorded in every source position so
+    multi-file diagnostics can name the file they point into.
+    """
+    parser = Parser(tokenize(source, filename))
     decls = parser.parse_program()
     parser.expect_eof()
     return decls

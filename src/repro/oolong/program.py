@@ -205,8 +205,23 @@ class Scope:
         )
 
     @classmethod
-    def from_source(cls, source: str) -> "Scope":
+    def from_source(cls, source: str, filename: Optional[str] = None) -> "Scope":
         """Parse ``source`` and build a scope (without well-formedness checks)."""
         from repro.oolong.parser import parse_program_text
 
-        return cls(parse_program_text(source))
+        return cls(parse_program_text(source, filename))
+
+    @classmethod
+    def from_sources(cls, sources: Sequence[Tuple[Optional[str], str]]) -> "Scope":
+        """Build one scope from several ``(filename, text)`` source parts.
+
+        Each part is parsed independently so every source position carries
+        the file it came from — the multi-file analogue of
+        :meth:`from_source` (which concatenation would misattribute).
+        """
+        from repro.oolong.parser import parse_program_text
+
+        decls: List[Decl] = []
+        for filename, text in sources:
+            decls.extend(parse_program_text(text, filename))
+        return cls(decls)

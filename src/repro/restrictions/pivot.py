@@ -52,17 +52,37 @@ class PivotViolation:
     detail: str
     position: Optional[SourcePosition] = None
 
+    @property
+    def code(self) -> str:
+        """The stable ``OL1xx`` error code aliased by this rule tag."""
+        from repro.analysis.diagnostics import code_for_rule
+
+        return code_for_rule(self.rule)
+
+    def to_diagnostic(self):
+        """This violation as a record of the shared diagnostics engine."""
+        from repro.analysis.diagnostics import Diagnostic
+
+        return Diagnostic(
+            code=self.code,
+            message=self.detail,
+            position=self.position,
+            impl=self.impl,
+        )
+
     def __str__(self) -> str:
         where = f" at {self.position}" if self.position else ""
         return f"[{self.rule}] impl {self.impl}{where}: {self.detail}"
 
 
-#: Rule identifiers used in violation reports.
-RULE_PIVOT_TARGET = "pivot-target"
-RULE_PIVOT_READ = "pivot-read"
-RULE_OBJECT_OP = "object-op"
-RULE_FORMAL_COPY = "formal-copy"
-RULE_FORMAL_TARGET = "formal-target"
+#: Rule identifiers used in violation reports. Each tag aliases a stable
+#: ``OL1xx`` diagnostic code (see :mod:`repro.analysis.diagnostics`); the
+#: strings are kept because published transcripts match on them.
+RULE_PIVOT_TARGET = "pivot-target"  # OL101
+RULE_PIVOT_READ = "pivot-read"  # OL102
+RULE_OBJECT_OP = "object-op"  # OL103
+RULE_FORMAL_COPY = "formal-copy"  # OL104
+RULE_FORMAL_TARGET = "formal-target"  # OL105
 
 
 def check_pivot_uniqueness(scope: Scope) -> List[PivotViolation]:

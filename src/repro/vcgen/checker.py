@@ -17,6 +17,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.analysis.diagnostics import Diagnostic, Severity
 from repro.oolong.ast import ImplDecl
 from repro.oolong.contracts import desugar_contracts
 from repro.oolong.program import Scope
@@ -58,10 +59,18 @@ class ImplVerdict:
 
 @dataclass
 class CheckReport:
-    """Everything ``check_scope`` found."""
+    """Everything ``check_scope`` found.
+
+    ``diagnostics`` holds the lint/inference findings of the static
+    analysis pre-filter (``OL110``/``OL2xx``/``OL3xx``). They are
+    advisory: ``ok`` is decided by the restriction pass and the prover
+    verdicts alone (an ``OL301`` missing licence surfaces as a failed
+    proof anyway).
+    """
 
     pivot_violations: List[PivotViolation] = field(default_factory=list)
     verdicts: List[ImplVerdict] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
     elapsed: float = 0.0
 
     @property
@@ -74,14 +83,60 @@ class CheckReport:
             return matching[index]
         return None
 
-    def describe(self) -> str:
+    def worst_diagnostic_severity(self) -> Optional[Severity]:
+        from repro.analysis.diagnostics import max_severity
+
+        return max_severity(self.diagnostics)
+
+    def describe(self, *, stats: bool = False) -> str:
+        """The canonical text report (the CLI prints exactly this).
+
+        ``stats=True`` appends per-implementation prover counters to each
+        verdict line.
+        """
         lines: List[str] = []
         for violation in self.pivot_violations:
             lines.append(f"restriction violation: {violation}")
+        for diagnostic in self.diagnostics:
+            lines.append(str(diagnostic))
         for verdict in self.verdicts:
-            lines.append(verdict.describe())
+            line = verdict.describe()
+            if stats:
+                counters = verdict.stats
+                line += (
+                    f"  [instances={counters.instantiations}"
+                    f" branches={counters.branches}"
+                    f" rounds={counters.rounds}"
+                    f" time={counters.elapsed:.2f}s]"
+                )
+            lines.append(line)
         lines.append("OK" if self.ok else "FAILED")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """A machine-readable rendering (used by ``--format json``)."""
+        return {
+            "ok": self.ok,
+            "elapsed": round(self.elapsed, 6),
+            "restriction_violations": [
+                violation.to_diagnostic().to_dict()
+                for violation in self.pivot_violations
+            ],
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "verdicts": [
+                {
+                    "impl": verdict.impl.name,
+                    "index": verdict.index,
+                    "status": verdict.status.value,
+                    "failed_obligation": (
+                        str(verdict.failed_obligation)
+                        if verdict.failed_obligation is not None
+                        else None
+                    ),
+                }
+                for verdict in self.verdicts
+            ],
+        }
 
 
 def check_scope(
@@ -89,6 +144,7 @@ def check_scope(
     limits: Optional[Limits] = None,
     *,
     enforce_restrictions: bool = True,
+    lint: bool = True,
 ) -> CheckReport:
     """Check every implementation in ``scope``.
 
@@ -96,11 +152,25 @@ def check_scope(
     by the baseline experiments that demonstrate why the restriction is
     needed); the VCs are still generated and proved against the full
     background predicate.
+
+    ``lint=True`` (the default) runs the static-analysis pre-filter
+    before proving and records its findings in ``report.diagnostics``.
+    The passes are pure AST/CFG walks, far below the prover's budget.
     """
     start = time.monotonic()
     check_well_formed(scope)
-    scope = desugar_contracts(scope)
     report = CheckReport()
+    if lint:
+        from repro.analysis.engine import lint_scope
+
+        # The syntactic restriction family is reported separately below;
+        # the flow-sensitive escape pass follows the restriction switch.
+        report.diagnostics = lint_scope(
+            scope,
+            include_restrictions=False,
+            include_flow=enforce_restrictions,
+        ).diagnostics
+    scope = desugar_contracts(scope)
     if enforce_restrictions:
         report.pivot_violations = check_pivot_uniqueness(scope)
     for impls in scope.impls.values():

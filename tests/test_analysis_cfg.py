@@ -1,0 +1,112 @@
+"""Tests for the CFG builder and the generic forward-dataflow engine."""
+
+from repro.analysis.cfg import (
+    ASSERT,
+    ASSIGN,
+    ASSUME,
+    CALL,
+    VAR_ENTER,
+    VAR_EXIT,
+    build_cfg,
+)
+from repro.analysis.dataflow import ForwardAnalysis, run_forward, statement_states
+from repro.corpus.programs import SECTION3_CLIENT, STACK_VECTOR
+from repro.oolong.program import Scope
+
+
+def impl_of(source, proc):
+    return Scope.from_source(source).impls_of(proc)[0]
+
+
+def kinds(cfg):
+    return [stmt.kind for _, stmt in cfg.statements()]
+
+
+class TestBuildCfg:
+    def test_straight_line_is_one_chain(self):
+        impl = impl_of(
+            "group g\nfield f in g\nproc p(t) modifies t.g\n"
+            "impl p(t) { assume t != null ; t.f := 1 ; t.f := 2 }",
+            "p",
+        )
+        cfg = build_cfg(impl)
+        assert kinds(cfg) == [ASSUME, ASSIGN, ASSIGN]
+        order = cfg.reverse_postorder()
+        assert order[0] == cfg.entry and order[-1] == cfg.exit
+
+    def test_choice_splits_and_joins(self):
+        impl = impl_of(STACK_VECTOR, "push")
+        cfg = build_cfg(impl)
+        # the [] in push produces a block with two successors...
+        forks = [b for b in cfg.blocks.values() if len(b.succs) == 2]
+        assert forks
+        # ...and a join block with two predecessors that reaches the call.
+        joins = [b for b in cfg.blocks.values() if len(b.preds) == 2]
+        assert joins
+        assert CALL in kinds(cfg)
+
+    def test_var_blocks_bracket_the_body(self):
+        impl = impl_of(SECTION3_CLIENT, "q")
+        cfg = build_cfg(impl)
+        seq = [(stmt.kind, stmt.var) for _, stmt in cfg.statements()]
+        enters = [var for kind, var in seq if kind == VAR_ENTER]
+        exits = [var for kind, var in seq if kind == VAR_EXIT]
+        assert enters == ["st", "result", "v", "n"]
+        assert sorted(exits) == sorted(enters)
+        # exits come in reverse nesting order after the body
+        assert seq.index((VAR_EXIT, "n")) < seq.index((VAR_EXIT, "st"))
+        assert ASSERT in [kind for kind, _ in seq]
+
+    def test_every_block_reachable_in_rpo(self):
+        for proc in ("push", "vec_add", "new_stack"):
+            cfg = build_cfg(impl_of(STACK_VECTOR, proc))
+            assert sorted(cfg.reverse_postorder()) == sorted(
+                b.bid for b in cfg.blocks.values()
+            )
+
+    def test_positions_flow_from_source(self):
+        impl = impl_of(
+            "group g\nfield f in g\nproc p(t) modifies t.g\n"
+            "impl p(t) { assume t != null ; t.f := 1 }",
+            "p",
+        )
+        cfg = build_cfg(impl)
+        positions = [stmt.position for _, stmt in cfg.statements()]
+        assert all(pos is not None for pos in positions)
+        assert positions[0].line == 4
+
+
+class _CountingAnalysis(ForwardAnalysis):
+    """Counts statements seen along the longest path (max-join)."""
+
+    def initial_state(self, cfg):
+        return 0
+
+    def join(self, states):
+        return max(states)
+
+    def transfer(self, stmt, state):
+        return state + 1
+
+
+class TestForwardEngine:
+    def test_counts_longest_path_through_choice(self):
+        impl = impl_of(STACK_VECTOR, "push")
+        cfg = build_cfg(impl)
+        result = run_forward(cfg, _CountingAnalysis())
+        # assume + (assume ; assign | assume ; skip-elided) + call
+        assert result.block_out[cfg.exit] == 4
+
+    def test_statement_states_replays_ins(self):
+        impl = impl_of(STACK_VECTOR, "vec_add")
+        cfg = build_cfg(impl)
+        analysis = _CountingAnalysis()
+        result = run_forward(cfg, analysis)
+        states = [state for _, _, state in statement_states(cfg, analysis, result)]
+        assert states == [0, 1, 2]
+
+    def test_fixpoint_reaches_all_blocks(self):
+        impl = impl_of(SECTION3_CLIENT, "q")
+        cfg = build_cfg(impl)
+        result = run_forward(cfg, _CountingAnalysis())
+        assert set(result.block_in) == {b.bid for b in cfg.blocks.values()}

@@ -1,9 +1,17 @@
 """Tests for the oolong-check command line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
-from repro.corpus.programs import RATIONAL, SECTION3_CLIENT, SECTION3_LEAKING_M
+from repro.cli import build_lint_parser, build_parser, lint_main, main
+from repro.corpus.programs import (
+    RATIONAL,
+    RATIONAL_OVERBROAD,
+    SECTION3_CLIENT,
+    SECTION3_LAUNDERED_M,
+    SECTION3_LEAKING_M,
+)
 
 
 @pytest.fixture
@@ -94,3 +102,131 @@ class TestExitCodes:
             "field num in value\nimpl normalize(r) { assume r != null ; r.num := 1 }",
         )
         assert main([a, b, "--time-budget", "60"]) == 0
+
+    def test_fail_on_warning_rejects_overbroad_modifies(self, write_source, capsys):
+        path = write_source("overbroad.oolong", RATIONAL_OVERBROAD)
+        # OL302 is a warning: clean exit by default...
+        assert main([path, "--time-budget", "60"]) == 0
+        # ...but --fail-on warning turns it into a failure
+        assert main([path, "--time-budget", "60", "--fail-on", "warning"]) == 1
+        assert "OL302" in capsys.readouterr().out
+
+    def test_no_lint_flag_suppresses_diagnostics(self, write_source, capsys):
+        path = write_source("overbroad.oolong", RATIONAL_OVERBROAD)
+        assert main([path, "--time-budget", "60", "--no-lint"]) == 0
+        assert "OL302" not in capsys.readouterr().out
+
+
+class TestMultiFilePositions:
+    def test_diagnostic_names_the_offending_file(self, write_source, capsys):
+        client = write_source("client.oolong", SECTION3_CLIENT)
+        private = write_source("private.oolong", SECTION3_LEAKING_M)
+        lint_main([client, private])
+        out = capsys.readouterr().out
+        # the leak is in the private file, at its own (small) line number
+        assert "private.oolong:" in out
+        leak_lines = [
+            l
+            for l in out.splitlines()
+            if "private.oolong:" in l and not l.startswith(" ")
+        ]
+        assert leak_lines
+        for line in leak_lines:
+            path, line_no, _rest = line.split(":", 2)
+            assert path.endswith("private.oolong")
+            assert int(line_no) <= SECTION3_LEAKING_M.count("\n") + 1
+
+    def test_parse_error_names_the_broken_file(self, write_source, capsys):
+        good = write_source("good.oolong", RATIONAL)
+        broken = write_source("broken.oolong", "group group group")
+        assert main([good, broken]) == 2
+        assert "broken.oolong" in capsys.readouterr().err
+
+
+class TestCheckJson:
+    def test_json_report_structure(self, write_source, capsys):
+        path = write_source("good.oolong", RATIONAL)
+        assert main([path, "--format", "json", "--time-budget", "60"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        assert data["diagnostics"] == []
+        assert data["restriction_violations"] == []
+        (verdict,) = data["verdicts"]
+        assert verdict["impl"] == "normalize"
+        assert verdict["status"] == "verified"
+
+    def test_json_reports_failure(self, write_source, capsys):
+        client = write_source("client.oolong", SECTION3_CLIENT)
+        private = write_source("private.oolong", SECTION3_LEAKING_M)
+        code = main([client, private, "--format", "json", "--time-budget", "60"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert data["ok"] is False
+        assert data["restriction_violations"]
+        codes = {d["code"] for d in data["diagnostics"]}
+        assert "OL110" in codes
+
+
+class TestLintSubcommand:
+    def test_lint_parser_defaults(self):
+        args = build_lint_parser().parse_args(["x.oolong"])
+        assert args.format == "text" and args.fail_on == "error"
+
+    def test_clean_program_exits_zero(self, write_source, capsys):
+        path = write_source("good.oolong", RATIONAL)
+        assert lint_main([path]) == 0
+        assert "0 diagnostic(s)" in capsys.readouterr().out
+
+    def test_subcommand_dispatch_through_main(self, write_source, capsys):
+        path = write_source("good.oolong", RATIONAL)
+        assert main(["lint", path]) == 0
+
+    def test_leak_exits_one_with_caret_snippet(self, write_source, capsys):
+        client = write_source("client.oolong", SECTION3_CLIENT)
+        private = write_source("private.oolong", SECTION3_LAUNDERED_M)
+        assert lint_main([client, private]) == 1
+        out = capsys.readouterr().out
+        assert "error[OL110]" in out
+        assert "  | " in out  # caret snippet from the right file
+        assert "note:" in out  # the flow path
+
+    def test_warning_needs_fail_on_warning(self, write_source, capsys):
+        path = write_source("overbroad.oolong", RATIONAL_OVERBROAD)
+        assert lint_main([path]) == 0
+        assert lint_main([path, "--fail-on", "warning"]) == 1
+
+    def test_no_restrictions_skips_ol1xx(self, write_source, capsys):
+        client = write_source("client.oolong", SECTION3_CLIENT)
+        private = write_source("private.oolong", SECTION3_LEAKING_M)
+        assert lint_main([client, private, "--no-restrictions"]) == 0
+        out = capsys.readouterr().out
+        assert "OL102" not in out and "OL110" not in out
+
+    def test_missing_file_exits_two(self, capsys):
+        assert lint_main(["/nonexistent/path.oolong"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_parse_error_exits_two(self, write_source, capsys):
+        path = write_source("broken.oolong", "group group group")
+        assert lint_main([path]) == 2
+
+    def test_json_golden(self, write_source, capsys):
+        client = write_source("client.oolong", SECTION3_CLIENT)
+        private = write_source("private.oolong", SECTION3_LAUNDERED_M)
+        assert lint_main([client, private, "--format", "json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False
+        codes = [d["code"] for d in data["diagnostics"]]
+        assert "OL102" in codes and "OL110" in codes
+        (leak,) = [d for d in data["diagnostics"] if d["code"] == "OL110"]
+        assert leak["severity"] == "error"
+        assert leak["impl"] == "m"
+        assert leak["file"].endswith("private.oolong")
+        assert len(leak["notes"]) >= 2  # the copy and the store
+        assert "inferred_modifies" in data
+
+    def test_json_inferred_modifies(self, write_source, capsys):
+        path = write_source("good.oolong", RATIONAL)
+        lint_main([path, "--format", "json"])
+        data = json.loads(capsys.readouterr().out)
+        assert set(data["inferred_modifies"]["normalize"]) == {"r.num", "r.den"}

@@ -1,0 +1,134 @@
+"""Tests for the shared OLxxx diagnostics engine."""
+
+import json
+
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    Note,
+    Severity,
+    code_for_rule,
+    diagnostic_from_error,
+    exceeds_threshold,
+    max_severity,
+    render_json,
+    render_text,
+    rule_for_code,
+    sorted_diagnostics,
+)
+from repro.errors import ReproError, SourcePosition
+
+
+def diag(code, message="boom", line=1, column=1, file=None, impl="p", notes=()):
+    return Diagnostic(
+        code=code,
+        message=message,
+        position=SourcePosition(line, column, file=file),
+        impl=impl,
+        notes=tuple(notes),
+    )
+
+
+class TestCodes:
+    def test_registry_is_total(self):
+        for code, (severity, title) in CODES.items():
+            assert code.startswith("OL") and len(code) == 5
+            assert code_for_rule(rule_for_code(code)) == code
+            assert isinstance(severity, Severity) and title
+
+    def test_families_by_hundreds(self):
+        for code, (severity, _) in CODES.items():
+            family = code[2]
+            if family == "1":
+                assert severity is Severity.ERROR  # restrictions
+            elif family == "2":
+                assert severity in (Severity.WARNING, Severity.INFO)  # lints
+
+    def test_legacy_rule_aliases_survive(self):
+        # the pre-existing syntactic rule tags must keep resolving
+        assert code_for_rule("pivot-target") == "OL101"
+        assert code_for_rule("pivot-read") == "OL102"
+        assert code_for_rule("object-op") == "OL103"
+        assert code_for_rule("formal-copy") == "OL104"
+        assert code_for_rule("formal-target") == "OL105"
+
+    def test_default_severity_filled_in(self):
+        d = diag("OL302")
+        assert d.severity is Severity.WARNING
+        assert d.rule == rule_for_code("OL302")
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR.rank > Severity.WARNING.rank > Severity.INFO.rank
+        assert Severity.ERROR.at_least(Severity.WARNING)
+        assert not Severity.INFO.at_least(Severity.WARNING)
+
+    def test_max_severity(self):
+        assert max_severity([]) is None
+        assert max_severity([diag("OL204"), diag("OL302")]) is Severity.WARNING
+        assert max_severity([diag("OL302"), diag("OL110")]) is Severity.ERROR
+
+    def test_exceeds_threshold(self):
+        diags = [diag("OL302")]
+        assert exceeds_threshold(diags, "warning")
+        assert not exceeds_threshold(diags, "error")
+        assert not exceeds_threshold([], "warning")
+
+
+class TestSorting:
+    def test_sorted_by_file_line_column_code(self):
+        diags = [
+            diag("OL302", line=9),
+            diag("OL110", line=2, column=7),
+            diag("OL102", line=2, column=7),
+            diag("OL201", line=2, column=3, file="a.oolong"),
+        ]
+        ordered = sorted_diagnostics(diags)
+        keys = [(d.position.file, d.position.line, d.position.column, d.code) for d in ordered]
+        assert keys == sorted(keys, key=lambda k: (k[0] or "", k[1], k[2], k[3]))
+        assert ordered[-1].code == "OL201" or ordered[0].code in ("OL102", "OL110")
+
+
+class TestRendering:
+    def test_str_form(self):
+        d = diag("OL110", message="leak", line=3, column=5, file="x.oolong")
+        assert str(d) == "x.oolong:3:5: error[OL110] impl p: leak"
+
+    def test_text_renderer_caret_snippet(self):
+        source = "group g\nfield f in g\n"
+        text = render_text(
+            [diag("OL202", message="field 'f' unused", line=2, column=1, file="m.oolong")],
+            {"m.oolong": source},
+        )
+        assert "warning[OL202]" in text
+        assert "  | field f in g" in text
+        assert "  | ^" in text
+
+    def test_text_renderer_notes(self):
+        note = Note("copied here", SourcePosition(4, 2, file="m.oolong"))
+        text = render_text([diag("OL110", notes=[note], file="m.oolong")], {})
+        assert "note:" in text and "copied here" in text
+
+    def test_json_renderer_stable_and_parseable(self):
+        payload = render_json(
+            [diag("OL301", message="m", line=1, column=2, file="f.oolong")],
+            ok=False,
+        )
+        data = json.loads(payload)
+        assert data["ok"] is False
+        (entry,) = data["diagnostics"]
+        assert entry["code"] == "OL301"
+        assert entry["severity"] == "error"
+        assert entry["file"] == "f.oolong"
+        assert entry["rule"] == rule_for_code("OL301")
+        # stable: same input, same output
+        assert payload == render_json(
+            [diag("OL301", message="m", line=1, column=2, file="f.oolong")], ok=False
+        )
+
+    def test_diagnostic_from_error(self):
+        err = ReproError("bad scope", position=SourcePosition(7, 3))
+        d = diagnostic_from_error(err)
+        assert d.code == "OL100" and d.severity is Severity.ERROR
+        assert d.position.line == 7

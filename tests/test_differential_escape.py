@@ -1,0 +1,94 @@
+"""Differential test: flow-sensitive escape analysis vs. ground truth.
+
+Two bounds pin the analysis between the runtime monitor and the syntactic
+pass:
+
+* **soundness** — every scope whose execution actually violates pivot
+  uniqueness (as witnessed by :mod:`repro.semantics.interp`) must be
+  flagged by the flow analysis (a superset of the real leaks);
+* **precision** — on the benign-copy programs from
+  :mod:`repro.corpus.generators` the flow analysis reports strictly fewer
+  spurious sites than the syntactic pass (namely: none).
+"""
+
+from repro.analysis.escape import check_pivot_escapes
+from repro.corpus.generators import generate_benign_copies
+from repro.corpus.programs import (
+    SECTION3_CLIENT_INIT,
+    SECTION3_UNSOUND_IMPLS,
+)
+from repro.oolong.program import Scope
+from repro.restrictions.pivot import check_pivot_uniqueness
+from repro.semantics.interp import OutcomeKind, explore_program
+
+#: The laundered variant of the unsound module: same runtime behaviour,
+#: but the leak flows through an intermediate local.
+SECTION3_UNSOUND_LAUNDERED = SECTION3_UNSOUND_IMPLS.replace(
+    "impl m(st, r) {\n  assume r != null ;\n  r.obj := st.vec\n}",
+    "impl m(st, r) {\n  assume r != null ;\n  var tmp in tmp := st.vec ; r.obj := tmp end\n}",
+)
+
+
+def runtime_pivot_violation(scope, entry):
+    outcomes = explore_program(scope, entry)
+    return [o for o in outcomes if o.kind is OutcomeKind.PIVOT_VIOLATION]
+
+
+class TestSoundnessBound:
+    def test_real_leak_is_caught_by_flow_analysis(self):
+        scope = Scope.from_source(SECTION3_CLIENT_INIT + SECTION3_UNSOUND_IMPLS)
+        # ground truth: running q2 really does break pivot uniqueness
+        assert runtime_pivot_violation(scope, "q2")
+        # the flow analysis flags the leaking impl
+        escapes = check_pivot_escapes(scope)
+        assert any(d.impl == "m" and d.code == "OL110" for d in escapes)
+
+    def test_laundered_leak_still_caught(self):
+        assert "var tmp in" in SECTION3_UNSOUND_LAUNDERED  # replace() took
+        scope = Scope.from_source(SECTION3_CLIENT_INIT + SECTION3_UNSOUND_LAUNDERED)
+        assert runtime_pivot_violation(scope, "q2")
+        escapes = check_pivot_escapes(scope)
+        assert any(d.impl == "m" and d.code == "OL110" for d in escapes)
+        # the flow path names the laundering copy
+        (leak,) = [d for d in escapes if d.impl == "m"]
+        assert any("tmp := st.vec" in note.message for note in leak.notes)
+
+
+class TestPrecisionBound:
+    def test_strictly_fewer_spurious_sites_than_syntactic_pass(self):
+        for copies in (1, 2, 4, 8):
+            source = generate_benign_copies(copies)
+            # make the probe executable so the interpreter can vouch for it
+            driver = source + (
+                "\nproc drive()\n"
+                "impl drive() { var x in x := new() ; probe(x) end }\n"
+            )
+            scope = Scope.from_source(driver)
+
+            # ground truth: no execution goes wrong
+            outcomes = explore_program(scope, "drive")
+            assert outcomes and not any(o.wrong for o in outcomes)
+
+            syntactic_sites = {
+                (v.position.line, v.position.column)
+                for v in check_pivot_uniqueness(scope)
+            }
+            flow_sites = {
+                (d.position.line, d.position.column)
+                for d in check_pivot_escapes(scope)
+            }
+            # strictly fewer spurious sites: the flow analysis is silent
+            assert len(flow_sites) < len(syntactic_sites)
+            assert flow_sites == set()
+
+
+class TestAgreementOnCleanPrograms:
+    def test_no_flow_findings_where_runtime_is_clean(self):
+        # programs the interpreter certifies clean stay clean under flow
+        source = generate_benign_copies(3) + (
+            "\nproc drive()\n"
+            "impl drive() { var x in x := new() ; probe(x) end }\n"
+        )
+        scope = Scope.from_source(source)
+        assert not any(o.wrong for o in explore_program(scope, "drive"))
+        assert check_pivot_escapes(scope) == []
