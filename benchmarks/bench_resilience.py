@@ -1,0 +1,103 @@
+"""RESILIENCE-OVERHEAD: fault-injection hooks must be free on the clean path.
+
+Every stage boundary of the pipeline (lex, parse, wellformed, pivot,
+lint, vcgen, prove) now crosses a ``fault_point`` so the harness in
+``repro.testing.faults`` can raise, delay, or corrupt there. When no
+injector is active, a crossing is one module-global ``None`` check. The
+claim measured here: the total hook cost on an ordinary ``check_scope``
+run — crossings x per-crossing cost — is under 1% of the run's
+wall-clock.
+"""
+
+import time
+
+from benchmarks.conftest import print_row
+from repro.corpus.programs import PAPER_PROGRAMS
+from repro.oolong.program import Scope
+from repro.oolong.wellformed import check_well_formed
+from repro.testing.faults import FaultPlan, fault_point, inject
+from repro.vcgen.checker import check_scope
+
+
+def _median_seconds(fn, repeats=5):
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return sorted(samples)[len(samples) // 2]
+
+
+def _corpus_scopes():
+    scopes = []
+    for name, source in sorted(PAPER_PROGRAMS.items()):
+        scope = Scope.from_source(source)
+        check_well_formed(scope)
+        scopes.append((name, scope))
+    return scopes
+
+
+def test_inactive_fault_point_cost(limits):
+    """Crossings per corpus run x inactive per-crossing cost < 1%."""
+    scopes = _corpus_scopes()
+
+    def run_checks():
+        for _, scope in scopes:
+            check_scope(scope, limits)
+
+    # count how many times the pipeline actually crosses a hook: an
+    # injector with an empty plan tallies hits without ever firing
+    with inject(FaultPlan()) as injector:
+        run_checks()
+    crossings = sum(injector.counts.values())
+    assert crossings > 0
+
+    check_seconds = _median_seconds(run_checks, repeats=3)
+
+    # per-crossing cost of the inactive fast path, amortized over a
+    # large batch so the timer resolution doesn't dominate
+    batch = 100_000
+    start = time.perf_counter()
+    for _ in range(batch):
+        fault_point("prove", None)
+    per_crossing = (time.perf_counter() - start) / batch
+
+    hook_seconds = crossings * per_crossing
+    ratio = hook_seconds / check_seconds
+    print_row(
+        "RESILIENCE-OVERHEAD",
+        programs=len(scopes),
+        crossings=crossings,
+        per_crossing_ns=round(per_crossing * 1e9, 1),
+        check_seconds=round(check_seconds, 4),
+        hook_seconds=round(hook_seconds, 6),
+        overhead_percent=round(100 * ratio, 4),
+    )
+    assert ratio < 0.01
+
+
+def test_empty_injector_is_cheap(limits):
+    """Even with an (empty-plan) injector armed, the corpus check stays
+    within noise of the inactive baseline — the bookkeeping is a dict
+    increment per crossing, nothing more."""
+    scopes = _corpus_scopes()
+
+    def run_checks():
+        for _, scope in scopes:
+            check_scope(scope, limits)
+
+    def run_checks_armed():
+        with inject(FaultPlan()):
+            run_checks()
+
+    baseline = _median_seconds(run_checks, repeats=3)
+    armed = _median_seconds(run_checks_armed, repeats=3)
+    print_row(
+        "RESILIENCE-ARMED",
+        baseline_seconds=round(baseline, 4),
+        armed_seconds=round(armed, 4),
+        slowdown_percent=round(100 * (armed / baseline - 1), 2),
+    )
+    # generous bound: the point is "no systematic blowup", not a race
+    # against scheduler noise
+    assert armed < baseline * 1.25

@@ -3,12 +3,16 @@
 All user-facing findings — restriction violations, lints, inference
 results — are represented as :class:`Diagnostic` records with a stable
 error code, a severity, an optional source span, and optional secondary
-notes (used e.g. for flow paths). One engine, three code families:
+notes (used e.g. for flow paths). One engine, five code families:
 
+* ``OL0xx`` — frontend failures (lexical and syntax errors, surfaced by
+  the parser's error-recovery mode);
 * ``OL1xx`` — alias-confinement restrictions (the paper's Section 3 rules
   plus the flow-sensitive escape analysis);
 * ``OL2xx`` — lints (unused declarations, unreachable code, recursion);
-* ``OL3xx`` — inference results (modifies-list inference).
+* ``OL3xx`` — inference results (modifies-list inference);
+* ``OL9xx`` — pipeline faults (a checking stage crashed or a time budget
+  ran out; carries a captured traceback as notes).
 
 ``OL100`` is reserved for well-formedness failures so that
 :mod:`repro.oolong.wellformed` findings render through the same engine.
@@ -49,6 +53,9 @@ class Severity(enum.Enum):
 #: code -> (default severity, short title). The registry is the single
 #: source of truth for which codes exist; passes look their code up here.
 CODES: Dict[str, Tuple[Severity, str]] = {
+    # OL0xx — frontend (lexing and parsing).
+    "OL001": (Severity.ERROR, "lexical error"),
+    "OL002": (Severity.ERROR, "syntax error"),
     # OL1xx — restrictions.
     "OL100": (Severity.ERROR, "well-formedness violation"),
     "OL101": (Severity.ERROR, "pivot field assigned a value other than new() or null"),
@@ -65,10 +72,15 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     # OL3xx — inference.
     "OL301": (Severity.ERROR, "write or call not licensed by the declared modifies list"),
     "OL302": (Severity.WARNING, "modifies list is over-broad"),
+    # OL9xx — pipeline faults (crash isolation and deadlines).
+    "OL900": (Severity.ERROR, "internal error in a checking stage"),
+    "OL901": (Severity.ERROR, "time budget exhausted"),
 }
 
 #: Legacy rule-tag aliases (the strings PivotViolation has always used).
 RULE_ALIASES: Dict[str, str] = {
+    "lex-error": "OL001",
+    "parse-error": "OL002",
     "well-formedness": "OL100",
     "pivot-target": "OL101",
     "pivot-read": "OL102",
@@ -82,6 +94,8 @@ RULE_ALIASES: Dict[str, str] = {
     "recursion": "OL204",
     "missing-licence": "OL301",
     "overbroad-modifies": "OL302",
+    "internal-error": "OL900",
+    "deadline": "OL901",
 }
 
 _CODE_TO_RULE = {code: rule for rule, code in RULE_ALIASES.items()}
@@ -158,6 +172,36 @@ class Diagnostic:
 def diagnostic_from_error(error: ReproError, code: str = "OL100") -> Diagnostic:
     """Wrap a raised checker error as a diagnostic (default: OL100)."""
     return Diagnostic(code=code, message=error.message, position=error.position)
+
+
+#: How many trailing traceback lines an OL900 diagnostic keeps as notes.
+_TRACEBACK_NOTE_LINES = 8
+
+
+def internal_error_diagnostic(
+    stage: str,
+    error: BaseException,
+    *,
+    severity: Optional[Severity] = None,
+    impl: Optional[str] = None,
+) -> Diagnostic:
+    """An ``OL900`` diagnostic for an unexpected crash in ``stage``.
+
+    The exception's class and message go in the primary message; the tail
+    of the captured traceback rides along as notes so crash reports stay
+    actionable without drowning the main report.
+    """
+    import traceback
+
+    formatted = traceback.format_exception(type(error), error, error.__traceback__)
+    tail = "".join(formatted).rstrip().splitlines()[-_TRACEBACK_NOTE_LINES:]
+    return Diagnostic(
+        code="OL900",
+        message=f"{stage} failed internally: {type(error).__name__}: {error}",
+        severity=severity,
+        impl=impl,
+        notes=tuple(Note(line.rstrip()) for line in tail),
+    )
 
 
 def sort_key(diag: Diagnostic):

@@ -75,10 +75,14 @@ def lint_scope(
     A scope that is not well-formed short-circuits to a single ``OL100``
     diagnostic: the other passes assume resolvable names.
     """
+    from repro.testing.faults import fault_point
+
     try:
         check_well_formed(scope)
     except WellFormednessError as error:
-        return LintResult(diagnostics=[diagnostic_from_error(error)])
+        return fault_point(
+            "lint", LintResult(diagnostics=[diagnostic_from_error(error)])
+        )
 
     result = LintResult()
     if include_restrictions:
@@ -99,7 +103,7 @@ def lint_scope(
         result.diagnostics.extend(check_unreachable_code(scope))
         result.diagnostics.extend(check_recursion(scope))
     result.diagnostics = sorted_diagnostics(result.diagnostics)
-    return result
+    return fault_point("lint", result)
 
 
 def lint_program(source: str, filename: Optional[str] = None, **passes) -> LintResult:

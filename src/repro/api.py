@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
-from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    internal_error_diagnostic,
+)
 from repro.analysis.engine import LintResult, lint_scope
+from repro.errors import ReproError
 from repro.oolong.program import Scope
 from repro.oolong.wellformed import check_well_formed
 from repro.prover.core import Limits
@@ -18,23 +23,108 @@ __all__ = [
     "LintResult",
     "Severity",
     "check_program",
+    "check_program_resilient",
     "check_scope",
     "lint_program",
     "lint_scope",
     "parse_program",
+    "parse_program_resilient",
 ]
 
 
-def parse_program(source: str) -> Scope:
-    """Parse an oolong program text into a well-formed scope."""
+def parse_program(source: str, *, recover: bool = False) -> Scope:
+    """Parse an oolong program text into a well-formed scope.
+
+    Fail-fast by default: the first syntax error raises. With
+    ``recover=True`` the parser recovers at declaration/command
+    boundaries and raises only at the end — a single :class:`ParseError`
+    summarizing every error found (use :func:`parse_program_resilient`
+    to get the partial scope and the individual diagnostics instead).
+    """
+    if recover:
+        scope, diagnostics = parse_program_resilient(source)
+        if diagnostics:
+            from repro.errors import ParseError
+
+            raise ParseError(
+                f"{len(diagnostics)} syntax error(s): "
+                + "; ".join(d.message for d in diagnostics[:5])
+            )
+        return scope
     scope = Scope.from_source(source)
     check_well_formed(scope)
     return scope
 
 
+def parse_program_resilient(
+    source: str, filename: Optional[str] = None
+) -> Tuple[Scope, List[Diagnostic]]:
+    """Parse with error recovery; returns the partial scope + diagnostics.
+
+    Never raises on malformed input: lexical/syntax errors come back as
+    ``OL001``/``OL002`` diagnostics, well-formedness failures of the
+    surviving declarations as ``OL100``.
+    """
+    from repro.analysis.diagnostics import diagnostic_from_error
+    from repro.errors import WellFormednessError
+
+    scope, diagnostics = Scope.from_sources_recovering([(filename, source)])
+    if not diagnostics:
+        try:
+            check_well_formed(scope)
+        except WellFormednessError as error:
+            diagnostics.append(diagnostic_from_error(error))
+    return scope, diagnostics
+
+
 def check_program(source: str, limits: Optional[Limits] = None) -> CheckReport:
     """Parse, validate, and verify an oolong program text."""
     return check_scope(parse_program(source), limits)
+
+
+def check_program_resilient(
+    source: str,
+    limits: Optional[Limits] = None,
+    *,
+    filename: Optional[str] = None,
+) -> CheckReport:
+    """Parse, validate, and verify; never raises.
+
+    The fault-tolerant driver: frontend errors (and any unexpected crash
+    anywhere in the pipeline) are reported in ``report.fatal`` instead of
+    propagating, every checkable implementation still gets a verdict, and
+    the report always renders. This is the entry point the
+    fault-injection harness drives.
+    """
+    report = CheckReport()
+    try:
+        scope, diagnostics = Scope.from_sources_recovering([(filename, source)])
+    except Exception as exc:
+        report.fatal.append(internal_error_diagnostic("parsing", exc))
+        return report
+    frontend_errors = [
+        d for d in diagnostics if d.severity is Severity.ERROR
+    ]
+    if frontend_errors:
+        report.fatal.extend(frontend_errors)
+        report.diagnostics.extend(
+            d for d in diagnostics if d.severity is not Severity.ERROR
+        )
+        return report
+    report.diagnostics.extend(diagnostics)
+    try:
+        inner = check_scope(scope, limits)
+    except ReproError as exc:
+        from repro.analysis.diagnostics import diagnostic_from_error
+
+        report.fatal.append(diagnostic_from_error(exc))
+        return report
+    except Exception as exc:
+        report.fatal.append(internal_error_diagnostic("checking", exc))
+        return report
+    inner.diagnostics = report.diagnostics + inner.diagnostics
+    inner.fatal = report.fatal + inner.fatal
+    return inner
 
 
 def lint_program(source: str, filename: Optional[str] = None) -> LintResult:

@@ -12,12 +12,17 @@ and the declaration/reachability lints. No prover is involved, so it is
 fast enough for editor integration.
 
 Both accept ``--format text|json`` and ``--fail-on error|warning``.
-Sources are parsed per file, so every diagnostic position names the file
-it points into.
+Sources are parsed per file with panic-mode error recovery, so every
+diagnostic position names the file it points into and *all* syntax
+errors across all files are reported in one run (as ``OL001``/``OL002``
+diagnostics) instead of only the first.
 
 Exit codes: 0 — clean; 1 — findings at or above the ``--fail-on``
-threshold (or a failed proof in check mode); 2 — unreadable input, parse
-error, or ill-formed scope.
+threshold (or a failed proof, timeout, or internal-error verdict in
+check mode); 2 — unreadable input, syntax errors, an ill-formed scope,
+or an unexpected internal crash of the driver itself (isolated per
+implementation wherever possible; exit 2 only when nothing could be
+checked).
 """
 
 from __future__ import annotations
@@ -64,6 +69,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=30.0,
         help="prover time budget per implementation, in seconds",
+    )
+    parser.add_argument(
+        "--scope-time-budget",
+        type=float,
+        default=None,
+        help="wall-clock budget for the whole batch, in seconds; shared "
+        "across implementations so one divergent proof cannot starve the "
+        "rest (they report 'timed out'). Each implementation still gets "
+        "at most --time-budget of prover time within what remains",
     )
     parser.add_argument(
         "--max-instances",
@@ -122,9 +136,22 @@ def _read_sources(
     return sources, None
 
 
-def _parse_scope(sources: List[Tuple[str, str]]) -> Scope:
-    """Parse each file separately so positions carry the right file name."""
-    return Scope.from_sources(sources)
+def _parse_scope_recovering(sources: List[Tuple[str, str]]):
+    """Parse each file with error recovery; positions carry file names.
+
+    Returns ``(scope, frontend_diagnostics)``; the diagnostics cover
+    every lexical/syntax error in every file, not just the first.
+    """
+    return Scope.from_sources_recovering(sources)
+
+
+def _print_frontend_errors(diagnostics, sources, fmt: str) -> None:
+    from repro.analysis.diagnostics import render_json, render_text
+
+    if fmt == "json":
+        print(render_json(diagnostics, ok=False))
+    else:
+        print(render_text(diagnostics, dict(sources)), file=sys.stderr)
 
 
 def _severity_threshold(name: str):
@@ -149,10 +176,15 @@ def check_main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {read_error}", file=sys.stderr)
         return 2
     limits = Limits(
-        time_budget=args.time_budget, max_instances=args.max_instances
+        time_budget=args.time_budget,
+        max_instances=args.max_instances,
+        scope_time_budget=args.scope_time_budget,
     )
     try:
-        scope = _parse_scope(sources)
+        scope, frontend = _parse_scope_recovering(sources)
+        if frontend:
+            _print_frontend_errors(frontend, sources, args.format)
+            return 2
         check_well_formed(scope)
         report = check_scope(
             scope,
@@ -162,6 +194,9 @@ def check_main(argv: Optional[List[str]] = None) -> int:
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
+        return 2
+    except Exception as error:  # keep the CLI alive on internal crashes
+        print(f"internal error: {type(error).__name__}: {error}", file=sys.stderr)
         return 2
     if args.format == "json":
         from repro.analysis.diagnostics import render_json
@@ -193,15 +228,21 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
     from repro.analysis.engine import lint_scope
 
     try:
-        scope = _parse_scope(sources)
+        scope, frontend = _parse_scope_recovering(sources)
+        if frontend:
+            _print_frontend_errors(frontend, sources, args.format)
+            return 2
+        result = lint_scope(
+            scope,
+            include_restrictions=not args.no_restrictions,
+            include_flow=not args.no_restrictions,
+        )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    result = lint_scope(
-        scope,
-        include_restrictions=not args.no_restrictions,
-        include_flow=not args.no_restrictions,
-    )
+    except Exception as error:  # keep the CLI alive on internal crashes
+        print(f"internal error: {type(error).__name__}: {error}", file=sys.stderr)
+        return 2
     if args.format == "json":
         print(
             render_json(

@@ -142,4 +142,6 @@ class Lexer:
 
 def tokenize(source: str, filename: Optional[str] = None) -> List[Token]:
     """Tokenize ``source`` into a list ending with an EOF token."""
-    return list(Lexer(source, filename).tokens())
+    from repro.testing.faults import fault_point
+
+    return fault_point("lex", list(Lexer(source, filename).tokens()))

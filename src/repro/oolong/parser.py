@@ -32,13 +32,23 @@ Grammar (Figures 0 and 1 of the paper, plus ``if``/``skip`` sugar)::
 The ``if`` form is desugared exactly as the paper prescribes::
 
     if B then C else D end  =  (assume !B ; D) [] (assume B ; C)
+
+Error handling comes in two modes. The default is fail-fast: the first
+grammar violation raises :class:`repro.errors.ParseError`. With
+``recover=True`` the parser switches to panic-mode recovery: each error
+is recorded, the token stream is synchronized at the next declaration or
+command boundary, and parsing continues — so one run surfaces *every*
+syntax error in a file. :func:`parse_program_recovering` packages the
+recovered declarations together with the collected errors (and converts
+them to ``OL001``/``OL002`` diagnostics on request).
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
-from repro.errors import ParseError
+from repro.errors import LexError, ParseError
 from repro.oolong.ast import (
     Assert,
     Assign,
@@ -68,6 +78,7 @@ from repro.oolong.ast import (
 )
 from repro.oolong.lexer import tokenize
 from repro.oolong.tokens import Token, TokenKind
+from repro.testing.faults import fault_point
 
 _COMPARISONS = {
     TokenKind.EQ: "=",
@@ -79,12 +90,40 @@ _COMPARISONS = {
 }
 
 
-class Parser:
-    """Parses a pre-tokenized oolong source."""
+#: Keywords that can only start a declaration — panic-mode sync points.
+_DECL_STARTS = frozenset(
+    (TokenKind.GROUP, TokenKind.FIELD, TokenKind.PROC, TokenKind.IMPL)
+)
 
-    def __init__(self, tokens: List[Token]):
+#: Tokens that end the current command context during command-level sync.
+_CMD_BOUNDARIES = frozenset(
+    (
+        TokenKind.SEMI,
+        TokenKind.RBRACE,
+        TokenKind.END,
+        TokenKind.BOX,
+        TokenKind.EOF,
+    )
+)
+
+#: Recovery stops recording past this many errors per source (cascade cap).
+MAX_RECOVERED_ERRORS = 25
+
+
+class Parser:
+    """Parses a pre-tokenized oolong source.
+
+    ``recover=True`` enables panic-mode error recovery: grammar
+    violations are appended to :attr:`errors` and parsing resynchronizes
+    instead of raising. Fail-fast (the default) raises on first error.
+    """
+
+    def __init__(self, tokens: List[Token], *, recover: bool = False):
         self._tokens = tokens
         self._index = 0
+        self._recover = recover
+        #: Errors collected in recovery mode, in source order of detection.
+        self.errors: List[ParseError] = []
 
     # -- token plumbing ----------------------------------------------------
 
@@ -125,13 +164,59 @@ class Parser:
             names.append(self._ident(context))
         return tuple(names)
 
+    # -- panic-mode recovery -----------------------------------------------
+
+    def _record(self, error: ParseError) -> None:
+        if len(self.errors) < MAX_RECOVERED_ERRORS:
+            self.errors.append(error)
+
+    def _synchronize_decl(self, start_index: int) -> None:
+        """Skip tokens until the next declaration keyword at brace depth 0.
+
+        Guarantees progress: if the failed production consumed nothing,
+        one token is discarded before scanning, so the driver loop always
+        terminates.
+        """
+        if self._index == start_index and not self._check(TokenKind.EOF):
+            self._advance()
+        depth = 0
+        while not self._check(TokenKind.EOF):
+            kind = self._peek().kind
+            if kind is TokenKind.LBRACE:
+                depth += 1
+            elif kind is TokenKind.RBRACE:
+                depth = max(depth - 1, 0)
+            elif kind in _DECL_STARTS and depth == 0:
+                return
+            self._advance()
+
+    def _synchronize_cmd(self) -> None:
+        """Skip tokens up to (not including) the next command boundary."""
+        while True:
+            kind = self._peek().kind
+            if kind in _CMD_BOUNDARIES or kind in _DECL_STARTS:
+                return
+            self._advance()
+
     # -- declarations ------------------------------------------------------
 
     def parse_program(self) -> Tuple[Decl, ...]:
-        """Parse a whole program: a sequence of declarations up to EOF."""
+        """Parse a whole program: a sequence of declarations up to EOF.
+
+        In recovery mode a failed declaration is recorded and skipped up
+        to the next declaration boundary; all successfully parsed
+        declarations (before, between, and after errors) are returned.
+        """
         decls: List[Decl] = []
         while not self._check(TokenKind.EOF):
-            decls.append(self.parse_decl())
+            start_index = self._index
+            try:
+                decls.append(self.parse_decl())
+            except ParseError as error:
+                if not self._recover:
+                    raise
+                self._record(error)
+                self._synchronize_decl(start_index)
         return tuple(decls)
 
     def parse_decl(self) -> Decl:
@@ -228,10 +313,24 @@ class Parser:
         return cmd
 
     def _parse_seq(self) -> Cmd:
-        cmd = self._parse_atom_cmd()
+        cmd = self._parse_atom_recovering()
         while self._match(TokenKind.SEMI):
-            cmd = Seq(cmd, self._parse_atom_cmd())
+            cmd = Seq(cmd, self._parse_atom_recovering())
         return cmd
+
+    def _parse_atom_recovering(self) -> Cmd:
+        """One atomic command; in recovery mode a failed atom becomes a
+        ``skip`` hole and the stream synchronizes at the next ``;`` (or
+        the end of the enclosing command context), so every malformed
+        statement in a body yields its own error."""
+        if not self._recover:
+            return self._parse_atom_cmd()
+        try:
+            return self._parse_atom_cmd()
+        except ParseError as error:
+            self._record(error)
+            self._synchronize_cmd()
+            return Skip()
 
     def _parse_atom_cmd(self) -> Cmd:
         token = self._peek()
@@ -394,16 +493,67 @@ class Parser:
             )
 
 
-def parse_program_text(source: str, filename=None) -> Tuple[Decl, ...]:
+def parse_program_text(
+    source: str,
+    filename=None,
+    *,
+    recover: bool = False,
+    errors: Optional[List[ParseError]] = None,
+) -> Tuple[Decl, ...]:
     """Parse an oolong program source text into a declaration tuple.
 
     ``filename``, when given, is recorded in every source position so
     multi-file diagnostics can name the file they point into.
+
+    Fail-fast by default: the first grammar violation raises. With
+    ``recover=True`` every syntax error is appended to ``errors`` (a
+    caller-supplied list) and the surviving declarations are returned.
     """
-    parser = Parser(tokenize(source, filename))
+    parser = Parser(tokenize(source, filename), recover=recover)
     decls = parser.parse_program()
     parser.expect_eof()
-    return decls
+    if errors is not None:
+        errors.extend(parser.errors)
+    return fault_point("parse", decls)
+
+
+@dataclass(frozen=True)
+class RecoveredParse:
+    """The outcome of an error-recovering parse of one source text."""
+
+    decls: Tuple[Decl, ...]
+    errors: Tuple[ParseError, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def diagnostics(self) -> list:
+        """The collected errors as ``OL001``/``OL002`` diagnostics."""
+        from repro.analysis.diagnostics import diagnostic_from_error
+
+        return [
+            diagnostic_from_error(
+                error, code="OL001" if isinstance(error, LexError) else "OL002"
+            )
+            for error in self.errors
+        ]
+
+
+def parse_program_recovering(source: str, filename=None) -> RecoveredParse:
+    """Parse ``source`` with panic-mode recovery; never raises on bad input.
+
+    A lexical error aborts the file (the token stream is unusable) but is
+    still reported through the same channel, as a single ``OL001``.
+    """
+    try:
+        tokens = tokenize(source, filename)
+    except LexError as error:
+        return RecoveredParse((), (error,))
+    parser = Parser(tokens, recover=True)
+    decls = parser.parse_program()
+    decls = fault_point("parse", decls)
+    return RecoveredParse(tuple(decls), tuple(parser.errors))
 
 
 def parse_command(source: str) -> Cmd:

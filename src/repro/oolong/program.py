@@ -225,3 +225,32 @@ class Scope:
         for filename, text in sources:
             decls.extend(parse_program_text(text, filename))
         return cls(decls)
+
+    @classmethod
+    def from_sources_recovering(
+        cls, sources: Sequence[Tuple[Optional[str], str]]
+    ) -> Tuple["Scope", list]:
+        """Like :meth:`from_sources`, but with parser error recovery.
+
+        Returns ``(scope, diagnostics)``: the scope built from every
+        declaration that parsed, plus one ``OL001``/``OL002`` diagnostic
+        per lexical/syntax error across all files. If the surviving
+        declarations collide (duplicate names — likely when recovery
+        guessed wrong), the collision is reported as an ``OL100``
+        diagnostic and an empty scope is returned rather than raising.
+        """
+        from repro.analysis.diagnostics import diagnostic_from_error
+        from repro.oolong.parser import parse_program_recovering
+
+        decls = []
+        diagnostics = []
+        for filename, text in sources:
+            outcome = parse_program_recovering(text, filename)
+            decls.extend(outcome.decls)
+            diagnostics.extend(outcome.diagnostics())
+        try:
+            scope = cls(decls)
+        except WellFormednessError as error:
+            diagnostics.append(diagnostic_from_error(error))
+            scope = cls(())
+        return scope, diagnostics

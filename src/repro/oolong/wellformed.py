@@ -53,6 +53,9 @@ from repro.oolong.program import Scope
 
 def check_well_formed(scope: Scope) -> None:
     """Raise :class:`WellFormednessError` on the first violated rule."""
+    from repro.testing.faults import fault_point
+
+    fault_point("wellformed")
     _check_group_acyclicity(scope)
     for decl in scope.decls:
         if isinstance(decl, GroupDecl):

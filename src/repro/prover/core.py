@@ -65,7 +65,18 @@ class Limits:
     max_depth: int = 400
     max_branches: int = 200000
     max_matches_per_round: int = 5000
+    #: Wall-clock budget for one ``check`` call — i.e. per implementation
+    #: when driven by ``check_scope``. Enforced cooperatively: between
+    #: fact assertions, search rounds, case splits, and matches.
     time_budget: Optional[float] = 30.0
+    #: Wall-clock budget for a whole ``check_scope`` batch, shared by all
+    #: implementations. The driver turns it into ``scope_deadline``.
+    scope_time_budget: Optional[float] = None
+    #: Absolute ``time.monotonic()`` deadline shared across solver
+    #: instances (set by the driver from ``scope_time_budget``). Checked
+    #: at the same cooperative points as ``time_budget``, so a
+    #: pathological implementation cannot starve the rest of the batch.
+    scope_deadline: Optional[float] = None
     #: Relevancy filter: a candidate instance is asserted only while its
     #: number of not-yet-refuted top-level disjuncts (its *width*) is at
     #: most this. Width 0 is a conflict, width 1 unit-propagates, width 2
@@ -174,14 +185,22 @@ class Solver:
         start = time.monotonic()
         if self.limits.time_budget is not None:
             self._deadline = start + self.limits.time_budget
+        if self.limits.scope_deadline is not None:
+            self._deadline = (
+                self.limits.scope_deadline
+                if self._deadline is None
+                else min(self._deadline, self.limits.scope_deadline)
+            )
         state = _State()
-        verdict = Verdict.UNSAT
-        ok = True
+        verdict: Optional[Verdict] = None
         for fact in self._facts:
-            if not self._assert(fact, state):
-                ok = False
+            if self._out_of_time():
+                verdict = Verdict.RESOURCE_OUT
                 break
-        if ok:
+            if not self._assert(fact, state):
+                verdict = Verdict.UNSAT
+                break
+        if verdict is None:
             verdict = self._search(state, 0)
         self.stats.elapsed = time.monotonic() - start
         return ProverResult(verdict, self.stats)
@@ -497,6 +516,8 @@ class Solver:
         rest = [d for d in state.disjunctions if d is not disjunction]
         saw_resource = False
         for disjunct in disjunction.disjuncts:
+            if self._out_of_time():
+                return Verdict.RESOURCE_OUT
             if self.stats.branches >= self.limits.max_branches:
                 return Verdict.RESOURCE_OUT
             self.stats.branches += 1
@@ -587,6 +608,8 @@ class Solver:
         candidates.sort(key=lambda c: (c[0], c[1]))
         added = 0
         for _, _, key, quantifier, instance, effective_limit in candidates:
+            if self._out_of_time():
+                return "resource"
             if key in self._seen:
                 continue
             # Re-check relevance: earlier assertions may have settled it.

@@ -1,0 +1,30 @@
+"""Test-support infrastructure shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness
+used by the resilience test suite and the CI ``fault-injection`` job. It
+lives under ``src`` (rather than ``tests/``) because the pipeline modules
+carry its injection points; importing it must never pull in test-only
+dependencies.
+"""
+
+from repro.testing.faults import (
+    ACTIONS,
+    STAGES,
+    Corrupted,
+    Fault,
+    FaultError,
+    FaultPlan,
+    fault_point,
+    inject,
+)
+
+__all__ = [
+    "ACTIONS",
+    "STAGES",
+    "Corrupted",
+    "Fault",
+    "FaultError",
+    "FaultPlan",
+    "fault_point",
+    "inject",
+]

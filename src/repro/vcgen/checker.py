@@ -8,16 +8,32 @@
 
 Owner exclusion needs no separate pass: it is embedded in every call's
 verification condition and assumed on entry via ``Init``.
+
+The driver is fault-tolerant: every implementation is checked in
+isolation, so a crash or hang in one VC (the paper itself reports prover
+divergence on cyclic rep inclusions) never loses the verdicts of the
+others. An unexpected exception becomes an ``INTERNAL_ERROR`` verdict
+carrying an ``OL900`` traceback diagnostic; exhausting the shared
+``Limits.scope_time_budget`` marks the remaining implementations
+``TIMED_OUT`` (``OL901``) instead of starving them silently. The
+advisory passes (lint pre-filter, pivot restriction) degrade to an
+``OL900`` *warning* when they crash — checking continues. Only genuine
+user errors (``WellFormednessError``) still raise.
 """
 
 from __future__ import annotations
 
 import enum
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
-from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    internal_error_diagnostic,
+)
+from repro.errors import WellFormednessError
 from repro.oolong.ast import ImplDecl
 from repro.oolong.contracts import desugar_contracts
 from repro.oolong.program import Scope
@@ -34,6 +50,12 @@ class ImplStatus(enum.Enum):
     VERIFIED = "verified"
     NOT_PROVED = "not proved"
     RESOURCE_OUT = "resource limit exceeded"
+    #: The scope-wide wall-clock budget ran out before (or while) this
+    #: implementation was checked.
+    TIMED_OUT = "timed out"
+    #: VC generation or the prover crashed; the verdict carries an
+    #: ``OL900`` diagnostic with the captured traceback.
+    INTERNAL_ERROR = "internal error"
 
 
 @dataclass
@@ -45,6 +67,8 @@ class ImplVerdict:
     status: ImplStatus
     stats: ProverStats
     failed_obligation: Optional[ObligationInfo] = None
+    #: For ``INTERNAL_ERROR``/``TIMED_OUT``: the OL9xx detail diagnostic.
+    error: Optional[Diagnostic] = None
 
     @property
     def ok(self) -> bool:
@@ -54,6 +78,8 @@ class ImplVerdict:
         text = f"impl {self.impl.name}#{self.index}: {self.status.value}"
         if self.failed_obligation is not None:
             text += f" — stuck on {self.failed_obligation}"
+        if self.error is not None:
+            text += f" — {self.error.message}"
         return text
 
 
@@ -62,20 +88,30 @@ class CheckReport:
     """Everything ``check_scope`` found.
 
     ``diagnostics`` holds the lint/inference findings of the static
-    analysis pre-filter (``OL110``/``OL2xx``/``OL3xx``). They are
-    advisory: ``ok`` is decided by the restriction pass and the prover
-    verdicts alone (an ``OL301`` missing licence surfaces as a failed
+    analysis pre-filter (``OL110``/``OL2xx``/``OL3xx``), plus ``OL900``
+    warnings for advisory passes that crashed. They are advisory: ``ok``
+    is decided by the restriction pass, the prover verdicts, and
+    ``fatal`` alone (an ``OL301`` missing licence surfaces as a failed
     proof anyway).
+
+    ``fatal`` holds diagnostics for failures that prevented checking
+    altogether (frontend errors in resilient parsing, a crashed contract
+    desugaring); a report with fatal diagnostics is never ``ok``.
     """
 
     pivot_violations: List[PivotViolation] = field(default_factory=list)
     verdicts: List[ImplVerdict] = field(default_factory=list)
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    fatal: List[Diagnostic] = field(default_factory=list)
     elapsed: float = 0.0
 
     @property
     def ok(self) -> bool:
-        return not self.pivot_violations and all(v.ok for v in self.verdicts)
+        return (
+            not self.fatal
+            and not self.pivot_violations
+            and all(v.ok for v in self.verdicts)
+        )
 
     def verdict_for(self, proc_name: str, index: int = 0) -> Optional[ImplVerdict]:
         matching = [v for v in self.verdicts if v.impl.name == proc_name]
@@ -95,6 +131,8 @@ class CheckReport:
         verdict line.
         """
         lines: List[str] = []
+        for diagnostic in self.fatal:
+            lines.append(str(diagnostic))
         for violation in self.pivot_violations:
             lines.append(f"restriction violation: {violation}")
         for diagnostic in self.diagnostics:
@@ -123,6 +161,7 @@ class CheckReport:
                 for violation in self.pivot_violations
             ],
             "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "fatal": [d.to_dict() for d in self.fatal],
             "verdicts": [
                 {
                     "impl": verdict.impl.name,
@@ -133,10 +172,83 @@ class CheckReport:
                         if verdict.failed_obligation is not None
                         else None
                     ),
+                    "error": (
+                        verdict.error.to_dict()
+                        if verdict.error is not None
+                        else None
+                    ),
                 }
                 for verdict in self.verdicts
             ],
         }
+
+
+def _deadline_diagnostic(impl: ImplDecl, *, before: bool) -> Diagnostic:
+    phase = "before this implementation was checked" if before else (
+        "while this implementation was being checked"
+    )
+    return Diagnostic(
+        code="OL901",
+        message=f"scope time budget exhausted {phase}",
+        impl=impl.name,
+    )
+
+
+def _check_impl(
+    scope: Scope,
+    impl: ImplDecl,
+    index: int,
+    limits: Optional[Limits],
+    deadline: Optional[float],
+) -> ImplVerdict:
+    """Check one implementation in isolation: any crash or overrun is
+    converted into a verdict rather than propagated."""
+    if deadline is not None and time.monotonic() >= deadline:
+        return ImplVerdict(
+            impl=impl,
+            index=index,
+            status=ImplStatus.TIMED_OUT,
+            stats=ProverStats(),
+            error=_deadline_diagnostic(impl, before=True),
+        )
+    try:
+        bundle = vc_for_impl(scope, impl)
+        result = bundle.prove(limits)
+        verdict = result.verdict
+        stats = result.stats
+        error: Optional[Diagnostic] = None
+        if verdict is Verdict.UNSAT:
+            status = ImplStatus.VERIFIED
+        elif verdict is Verdict.SAT:
+            status = ImplStatus.NOT_PROVED
+        elif deadline is not None and time.monotonic() >= deadline:
+            status = ImplStatus.TIMED_OUT
+            error = _deadline_diagnostic(impl, before=False)
+        else:
+            status = ImplStatus.RESOURCE_OUT
+        failed = (
+            bundle.failed_obligation(result)
+            if status is ImplStatus.NOT_PROVED
+            else None
+        )
+        return ImplVerdict(
+            impl=impl,
+            index=index,
+            status=status,
+            stats=stats,
+            failed_obligation=failed,
+            error=error,
+        )
+    except Exception as exc:  # crash isolation: never lose the batch
+        return ImplVerdict(
+            impl=impl,
+            index=index,
+            status=ImplStatus.INTERNAL_ERROR,
+            stats=ProverStats(),
+            error=internal_error_diagnostic(
+                "verification", exc, impl=impl.name
+            ),
+        )
 
 
 def check_scope(
@@ -156,46 +268,79 @@ def check_scope(
     ``lint=True`` (the default) runs the static-analysis pre-filter
     before proving and records its findings in ``report.diagnostics``.
     The passes are pure AST/CFG walks, far below the prover's budget.
+
+    Fault tolerance: ``limits.scope_time_budget`` bounds the whole batch
+    (remaining implementations report ``TIMED_OUT``); a crash in VC
+    generation or proving yields an ``INTERNAL_ERROR`` verdict for that
+    implementation only; a crash in an advisory pass (lint, pivot
+    restriction) degrades to an ``OL900`` warning. Ill-formed scopes
+    still raise :class:`WellFormednessError` — that is a user error, not
+    a pipeline fault.
     """
     start = time.monotonic()
-    check_well_formed(scope)
+    if (
+        limits is not None
+        and limits.scope_time_budget is not None
+        and limits.scope_deadline is None
+    ):
+        limits = replace(limits, scope_deadline=start + limits.scope_time_budget)
+    deadline = limits.scope_deadline if limits is not None else None
+
+    try:
+        check_well_formed(scope)
+    except WellFormednessError:
+        raise
+    except Exception as exc:
+        # The pass itself died (not the scope): warn and keep checking —
+        # per-impl isolation contains any knock-on failures.
+        well_formed_crash = internal_error_diagnostic(
+            "well-formedness checking", exc, severity=Severity.WARNING
+        )
+    else:
+        well_formed_crash = None
+
     report = CheckReport()
+    if well_formed_crash is not None:
+        report.diagnostics.append(well_formed_crash)
     if lint:
         from repro.analysis.engine import lint_scope
 
         # The syntactic restriction family is reported separately below;
         # the flow-sensitive escape pass follows the restriction switch.
-        report.diagnostics = lint_scope(
-            scope,
-            include_restrictions=False,
-            include_flow=enforce_restrictions,
-        ).diagnostics
-    scope = desugar_contracts(scope)
+        try:
+            result = lint_scope(
+                scope,
+                include_restrictions=False,
+                include_flow=enforce_restrictions,
+            )
+            report.diagnostics.extend(list(result.diagnostics))
+        except Exception as exc:
+            report.diagnostics.append(
+                internal_error_diagnostic(
+                    "lint pre-filter", exc, severity=Severity.WARNING
+                )
+            )
+    try:
+        scope = desugar_contracts(scope)
+    except Exception as exc:
+        report.fatal.append(
+            internal_error_diagnostic("contract desugaring", exc)
+        )
+        report.elapsed = time.monotonic() - start
+        return report
     if enforce_restrictions:
-        report.pivot_violations = check_pivot_uniqueness(scope)
+        try:
+            report.pivot_violations = list(check_pivot_uniqueness(scope))
+        except Exception as exc:
+            report.diagnostics.append(
+                internal_error_diagnostic(
+                    "pivot restriction pass", exc, severity=Severity.WARNING
+                )
+            )
     for impls in scope.impls.values():
         for index, impl in enumerate(impls):
-            bundle = vc_for_impl(scope, impl)
-            result = bundle.prove(limits)
-            if result.verdict is Verdict.UNSAT:
-                status = ImplStatus.VERIFIED
-            elif result.verdict is Verdict.SAT:
-                status = ImplStatus.NOT_PROVED
-            else:
-                status = ImplStatus.RESOURCE_OUT
-            failed = (
-                bundle.failed_obligation(result)
-                if status is ImplStatus.NOT_PROVED
-                else None
-            )
             report.verdicts.append(
-                ImplVerdict(
-                    impl=impl,
-                    index=index,
-                    status=status,
-                    stats=result.stats,
-                    failed_obligation=failed,
-                )
+                _check_impl(scope, impl, index, limits, deadline)
             )
     report.elapsed = time.monotonic() - start
     return report

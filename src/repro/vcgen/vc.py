@@ -161,7 +161,9 @@ class VCBundle:
     obligations: List[ObligationInfo] = field(default_factory=list)
 
     def prove(self, limits: Optional[Limits] = None) -> ProverResult:
-        return prove_valid(self.hypotheses, self.goal, limits)
+        from repro.testing.faults import fault_point
+
+        return fault_point("prove", prove_valid(self.hypotheses, self.goal, limits))
 
     def failed_obligation(self, result: ProverResult) -> Optional[ObligationInfo]:
         """The obligation a non-proof got stuck on, if identifiable.
@@ -224,10 +226,15 @@ def vc_for_impl(
         + _sort_facts(impl)
         + [init_formula(scope, proc, fresh)]
     )
-    return VCBundle(
-        impl=impl,
-        proc=proc,
-        hypotheses=hypotheses,
-        goal=goal,
-        obligations=list(wctx.obligations),
+    from repro.testing.faults import fault_point
+
+    return fault_point(
+        "vcgen",
+        VCBundle(
+            impl=impl,
+            proc=proc,
+            hypotheses=hypotheses,
+            goal=goal,
+            obligations=list(wctx.obligations),
+        ),
     )

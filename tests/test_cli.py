@@ -230,3 +230,95 @@ class TestLintSubcommand:
         lint_main([path, "--format", "json"])
         data = json.loads(capsys.readouterr().out)
         assert set(data["inferred_modifies"]["normalize"]) == {"r.num", "r.den"}
+
+
+class TestResilience:
+    """Parser recovery and failure semantics at the CLI surface."""
+
+    def test_all_syntax_errors_reported_in_one_run(self, write_source, capsys):
+        source = "group value\nfield 1 in value\ngroup 2\nproc p(t)\n"
+        path = write_source("multi.oolong", source)
+        assert main([path]) == 2
+        err = capsys.readouterr().err
+        assert err.count("error[OL002]") == 2
+        assert "multi.oolong:2" in err and "multi.oolong:3" in err
+
+    def test_errors_collected_across_files(self, write_source, capsys):
+        a = write_source("a.oolong", "group 1\n")
+        b = write_source("b.oolong", "field 2\n")
+        assert main([a, b]) == 2
+        err = capsys.readouterr().err
+        assert "a.oolong:1" in err and "b.oolong:1" in err
+
+    def test_json_frontend_errors_are_machine_readable(
+        self, write_source, capsys
+    ):
+        path = write_source("multi.oolong", "group 1\ngroup 2\n")
+        assert main([path, "--format", "json"]) == 2
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False
+        assert [d["code"] for d in data["diagnostics"]] == ["OL002", "OL002"]
+
+    def test_lint_subcommand_also_recovers(self, write_source, capsys):
+        path = write_source("multi.oolong", "group 1\nfield 2\n")
+        assert lint_main([path]) == 2
+        assert capsys.readouterr().err.count("error[OL002]") == 2
+
+    def test_scope_time_budget_flag(self):
+        args = build_parser().parse_args(
+            ["--scope-time-budget", "0.5", "x.oolong"]
+        )
+        assert args.scope_time_budget == 0.5
+        assert build_parser().parse_args(["x.oolong"]).scope_time_budget is None
+
+    def test_exhausted_scope_budget_times_out_not_hangs(
+        self, write_source, capsys
+    ):
+        from repro.corpus.programs import STACK_VECTOR
+
+        path = write_source("stack.oolong", STACK_VECTOR)
+        code = main([path, "--scope-time-budget", "0.000001"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert out.count("timed out") == 3
+        assert "scope time budget exhausted" in out
+        assert "FAILED" in out
+
+    def test_timed_out_json_carries_ol901(self, write_source, capsys):
+        from repro.corpus.programs import RATIONAL as R
+
+        path = write_source("good.oolong", R)
+        code = main(
+            [path, "--scope-time-budget", "0.000001", "--format", "json"]
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert code == 1
+        (verdict,) = data["verdicts"]
+        assert verdict["status"] == "timed out"
+        assert verdict["error"]["code"] == "OL901"
+
+    def test_generous_scope_budget_is_invisible(self, write_source, capsys):
+        path = write_source("good.oolong", RATIONAL)
+        assert main([path, "--scope-time-budget", "300", "--time-budget", "60"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_internal_crash_exits_two_cleanly(self, write_source, capsys):
+        from repro.testing.faults import Fault, FaultPlan, inject
+
+        path = write_source("good.oolong", RATIONAL)
+        with inject(FaultPlan((Fault("lex", "raise", hit=0),))):
+            code = main([path])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "internal error" in err and "FaultError" in err
+
+    def test_internal_error_verdict_exits_one(self, write_source, capsys):
+        from repro.testing.faults import Fault, FaultPlan, inject
+
+        path = write_source("good.oolong", RATIONAL)
+        with inject(FaultPlan((Fault("prove", "raise", hit=0),))):
+            code = main([path, "--time-budget", "60"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "internal error" in out
+        assert "verification failed internally" in out

@@ -1,0 +1,302 @@
+"""The fault-injection harness and the resilience invariants it enforces.
+
+Two layers of tests:
+
+* **Direct** — a specific fault at a specific stage produces the exact
+  degradation the design promises (one INTERNAL_ERROR verdict, an OL900
+  warning, TIMED_OUT for starved implementations, ...).
+* **Fuzzed** — for a matrix of seeded plans (the CI job sweeps seed
+  offsets via ``FAULT_SEED_OFFSET``), the driver always terminates
+  within its deadline, reports a verdict for every implementation,
+  healthy implementations keep their true verdicts, and the report
+  renders in both text and JSON.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.corpus.programs import STACK_VECTOR
+from repro.oolong.program import Scope
+from repro.prover.core import Limits
+from repro.testing.faults import (
+    ACTIONS,
+    STAGES,
+    Corrupted,
+    Fault,
+    FaultError,
+    FaultPlan,
+    fault_point,
+    inject,
+)
+from repro.vcgen.checker import ImplStatus, check_scope
+
+#: Stages exercised *inside* ``check_scope`` (the frontend stages are
+#: driven separately through ``check_program_resilient``).
+CHECK_STAGES = ("wellformed", "pivot", "lint", "vcgen", "prove")
+
+#: Seeds swept per run; CI shifts the window with FAULT_SEED_OFFSET.
+SEED_OFFSET = int(os.environ.get("FAULT_SEED_OFFSET", "0"))
+SEEDS = range(SEED_OFFSET, SEED_OFFSET + 25)
+
+#: Injected delays stay far under this scope budget so the cooperative
+#: deadline remains observable despite uninterruptible sleeps.
+SCOPE_BUDGET = 20.0
+MAX_DELAY = 0.02
+
+LIMITS = Limits(time_budget=60.0, scope_time_budget=SCOPE_BUDGET)
+
+
+@pytest.fixture(scope="module")
+def stack_scope():
+    return Scope.from_source(STACK_VECTOR)
+
+
+@pytest.fixture(scope="module")
+def baseline(stack_scope):
+    report = check_scope(stack_scope, Limits(time_budget=60.0))
+    return {
+        (v.impl.name, v.index): v.status for v in report.verdicts
+    }
+
+
+class TestHarness:
+    def test_inactive_fault_point_is_identity(self):
+        sentinel = object()
+        assert fault_point("prove", sentinel) is sentinel
+        assert fault_point("lex") is None
+
+    def test_fuzz_is_deterministic(self):
+        assert FaultPlan.fuzz(42) == FaultPlan.fuzz(42)
+        assert FaultPlan.fuzz(42) != FaultPlan.fuzz(43)
+
+    def test_fuzz_respects_stage_restriction(self):
+        for seed in range(50):
+            plan = FaultPlan.fuzz(seed, stages=CHECK_STAGES)
+            assert all(f.stage in CHECK_STAGES for f in plan.faults)
+
+    def test_unknown_stage_and_action_rejected(self):
+        with pytest.raises(ValueError):
+            Fault("frobnicate", "raise")
+        with pytest.raises(ValueError):
+            Fault("prove", "explode")
+
+    def test_corrupted_poisons_every_use(self):
+        poison = Corrupted("prove#0")
+        with pytest.raises(FaultError):
+            poison.verdict
+        with pytest.raises(FaultError):
+            bool(poison)
+
+    def test_nested_injection_rejected(self):
+        with inject(FaultPlan()):
+            with pytest.raises(RuntimeError):
+                with inject(FaultPlan()):
+                    pass
+
+    def test_injector_counts_and_fires(self):
+        plan = FaultPlan((Fault("prove", "raise", hit=1),))
+        with inject(plan) as injector:
+            assert fault_point("prove", "first") == "first"
+            with pytest.raises(FaultError):
+                fault_point("prove", "second")
+        assert injector.counts["prove"] == 2
+        assert injector.fired == [("prove", 1, "raise")]
+
+    def test_plan_describe_names_faults(self):
+        plan = FaultPlan(
+            (Fault("lint", "raise"), Fault("prove", "delay", hit=2, delay=0.5))
+        )
+        assert plan.describe() == "raise@lint#0, delay@prove#2(0.500s)"
+
+
+class TestDirectIsolation:
+    def test_prover_crash_isolates_to_one_impl(self, stack_scope, baseline):
+        with inject(FaultPlan((Fault("prove", "raise", hit=1),))):
+            report = check_scope(stack_scope, LIMITS)
+        statuses = [v.status for v in report.verdicts]
+        assert statuses.count(ImplStatus.INTERNAL_ERROR) == 1
+        victim = report.verdicts[1]
+        assert victim.status is ImplStatus.INTERNAL_ERROR
+        assert victim.error is not None and victim.error.code == "OL900"
+        assert "FaultError" in victim.error.message
+        assert victim.error.notes  # captured traceback rides along
+        for verdict in report.verdicts:
+            if verdict is not victim:
+                assert verdict.status is baseline[
+                    (verdict.impl.name, verdict.index)
+                ]
+        assert not report.ok
+
+    def test_vcgen_corruption_isolates_to_one_impl(self, stack_scope, baseline):
+        with inject(FaultPlan((Fault("vcgen", "corrupt", hit=0),))):
+            report = check_scope(stack_scope, LIMITS)
+        assert report.verdicts[0].status is ImplStatus.INTERNAL_ERROR
+        for verdict in report.verdicts[1:]:
+            assert verdict.status is baseline[(verdict.impl.name, verdict.index)]
+
+    def test_lint_crash_degrades_to_warning(self, stack_scope, baseline):
+        with inject(FaultPlan((Fault("lint", "raise", hit=0),))):
+            report = check_scope(stack_scope, LIMITS)
+        warnings = [d for d in report.diagnostics if d.code == "OL900"]
+        assert len(warnings) == 1
+        assert warnings[0].severity.value == "warning"
+        assert "lint pre-filter" in warnings[0].message
+        # advisory-pass crash never changes verdicts or the overall outcome
+        assert all(
+            v.status is baseline[(v.impl.name, v.index)] for v in report.verdicts
+        )
+        assert report.ok
+
+    def test_pivot_crash_degrades_to_warning(self, stack_scope):
+        with inject(FaultPlan((Fault("pivot", "raise", hit=0),))):
+            report = check_scope(stack_scope, LIMITS)
+        warnings = [d for d in report.diagnostics if d.code == "OL900"]
+        assert any("pivot" in w.message for w in warnings)
+        assert len(report.verdicts) == 3
+
+    def test_wellformed_crash_degrades_to_warning(self, stack_scope):
+        with inject(FaultPlan((Fault("wellformed", "raise", hit=0),))):
+            report = check_scope(stack_scope, LIMITS)
+        warnings = [d for d in report.diagnostics if d.code == "OL900"]
+        assert warnings and len(report.verdicts) == 3
+
+    def test_scope_deadline_starves_gracefully(self, stack_scope):
+        # a "hang" (delay) during the first proof exhausts the scope
+        # budget: later impls must report TIMED_OUT, not block
+        plan = FaultPlan((Fault("prove", "delay", hit=0, delay=0.2),))
+        limits = Limits(time_budget=60.0, scope_time_budget=0.1)
+        start = time.monotonic()
+        with inject(plan):
+            report = check_scope(stack_scope, limits)
+        elapsed = time.monotonic() - start
+        assert elapsed < 5.0
+        assert len(report.verdicts) == 3
+        late = report.verdicts[1:]
+        assert all(v.status is ImplStatus.TIMED_OUT for v in late)
+        for verdict in late:
+            assert verdict.error is not None
+            assert verdict.error.code == "OL901"
+        assert not report.ok
+
+    def test_zero_scope_budget_times_out_everything(self, stack_scope):
+        report = check_scope(
+            stack_scope, Limits(time_budget=60.0, scope_time_budget=0.0)
+        )
+        assert [v.status for v in report.verdicts] == [ImplStatus.TIMED_OUT] * 3
+        assert report.elapsed < 1.0
+
+    def test_timed_out_renders_in_text_and_json(self, stack_scope):
+        report = check_scope(
+            stack_scope, Limits(time_budget=60.0, scope_time_budget=0.0)
+        )
+        text = report.describe()
+        assert "timed out" in text and text.endswith("FAILED")
+        data = json.loads(json.dumps(report.to_dict()))
+        assert all(v["status"] == "timed out" for v in data["verdicts"])
+        assert all(v["error"]["code"] == "OL901" for v in data["verdicts"])
+
+
+def _assert_well_formed_report(report):
+    text = report.describe()
+    assert isinstance(text, str)
+    assert text.splitlines()[-1] in ("OK", "FAILED")
+    json.dumps(report.to_dict())  # must be JSON-serializable end to end
+
+
+class TestFuzzedPlans:
+    """The acceptance invariants, over a seeded plan matrix."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_check_scope_survives_any_plan(self, seed, stack_scope, baseline):
+        plan = FaultPlan.fuzz(
+            seed, stages=CHECK_STAGES, max_faults=3, max_delay=MAX_DELAY
+        )
+        start = time.monotonic()
+        with inject(plan) as injector:
+            report = check_scope(stack_scope, LIMITS)
+        elapsed = time.monotonic() - start
+        context = f"seed={seed} plan=[{plan.describe()}] fired={injector.fired}"
+
+        # terminates within the scope deadline (plus injected sleeps and
+        # slack: sleeps are uninterruptible, the deadline is cooperative)
+        budget = SCOPE_BUDGET + 3 * MAX_DELAY + 5.0
+        assert elapsed < budget, context
+
+        # a verdict for every implementation, none lost
+        assert len(report.verdicts) == 3, context
+
+        # healthy impls keep their true verdicts
+        for verdict in report.verdicts:
+            if verdict.status in (
+                ImplStatus.INTERNAL_ERROR,
+                ImplStatus.TIMED_OUT,
+            ):
+                continue
+            assert verdict.status is baseline[
+                (verdict.impl.name, verdict.index)
+            ], context + f" impl={verdict.impl.name}#{verdict.index}"
+
+        _assert_well_formed_report(report)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_full_pipeline_never_raises(self, seed):
+        from repro.api import check_program_resilient
+
+        plan = FaultPlan.fuzz(
+            seed, stages=STAGES, max_faults=3, max_delay=MAX_DELAY
+        )
+        with inject(plan):
+            report = check_program_resilient(STACK_VECTOR, LIMITS)
+        _assert_well_formed_report(report)
+
+    @pytest.mark.parametrize("action", ACTIONS)
+    @pytest.mark.parametrize("stage", STAGES)
+    def test_every_stage_action_pair_is_contained(self, stage, action):
+        from repro.api import check_program_resilient
+
+        plan = FaultPlan(
+            (Fault(stage, action, hit=0, delay=0.01 if action == "delay" else 0.0),)
+        )
+        with inject(plan) as injector:
+            report = check_program_resilient(STACK_VECTOR, LIMITS)
+        assert injector.fired, f"{stage}/{action} never fired"
+        _assert_well_formed_report(report)
+        if action == "delay":
+            # a pure delay must not change the outcome at this budget
+            assert report.ok
+
+
+class TestResilientApiFrontend:
+    def test_syntax_errors_become_fatal_diagnostics(self):
+        from repro.api import check_program_resilient
+
+        report = check_program_resilient("group value\nfield 1 in value\n")
+        assert not report.ok
+        assert [d.code for d in report.fatal] == ["OL002"]
+        assert report.verdicts == []
+        _assert_well_formed_report(report)
+
+    def test_multiple_syntax_errors_all_reported(self):
+        from repro.api import check_program_resilient
+
+        report = check_program_resilient("group 1\nfield 2\nproc p(t)\n")
+        assert len(report.fatal) == 2
+        assert {d.code for d in report.fatal} == {"OL002"}
+
+    def test_clean_program_still_verifies(self):
+        from repro.api import check_program_resilient
+        from repro.corpus.programs import RATIONAL
+
+        report = check_program_resilient(RATIONAL, Limits(time_budget=60.0))
+        assert report.ok
+        assert [v.status for v in report.verdicts] == [ImplStatus.VERIFIED]
+
+    def test_ill_formed_scope_becomes_fatal(self):
+        from repro.api import check_program_resilient
+
+        report = check_program_resilient("field f in missing\n")
+        assert not report.ok
+        assert [d.code for d in report.fatal] == ["OL100"]

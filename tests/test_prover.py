@@ -220,3 +220,61 @@ class TestProveValid:
     def test_validity_with_case_split_goal(self):
         goal = Or((P(a), Not(P(a))))
         assert prove_valid([], goal).valid
+
+
+class TestDeadlines:
+    """Cooperative time budgets: per-check and scope-wide (shared)."""
+
+    def _hard_facts(self):
+        # A matching loop plus a case split: exercises the fact-assertion,
+        # search-round, split, and instantiation deadline checkpoints.
+        axiom = Forall(("x",), P(f(x)), ((App("P", (x,)),),))
+        return [axiom, P(a), Or((Q(a), Q(b)))]
+
+    def test_near_zero_budget_terminates_immediately(self):
+        import time
+
+        limits = Limits(time_budget=0.0, max_rounds=10**6, max_instances=10**9)
+        start = time.monotonic()
+        verdict = check(*self._hard_facts(), limits=limits)
+        elapsed = time.monotonic() - start
+        assert verdict is Verdict.RESOURCE_OUT
+        assert elapsed < 2.0
+
+    def test_scope_deadline_already_past_terminates_immediately(self):
+        import time
+
+        # per-check budget is generous; the shared scope deadline governs
+        limits = Limits(
+            time_budget=60.0,
+            max_rounds=10**6,
+            scope_deadline=time.monotonic() - 1.0,
+        )
+        start = time.monotonic()
+        verdict = check(*self._hard_facts(), limits=limits)
+        assert verdict is Verdict.RESOURCE_OUT
+        assert time.monotonic() - start < 2.0
+
+    def test_scope_deadline_tightens_per_check_budget(self):
+        import time
+
+        limits = Limits(
+            time_budget=60.0,
+            max_rounds=10**6,
+            max_instances=10**9,
+            scope_deadline=time.monotonic() + 0.05,
+        )
+        start = time.monotonic()
+        verdict = check(*self._hard_facts(), limits=limits)
+        elapsed = time.monotonic() - start
+        assert verdict is Verdict.RESOURCE_OUT
+        assert elapsed < 2.0
+
+    def test_generous_deadline_does_not_change_verdicts(self):
+        import time
+
+        limits = Limits(
+            time_budget=10.0, scope_deadline=time.monotonic() + 60.0
+        )
+        assert check(P(a), Not(P(a)), limits=limits) is Verdict.UNSAT
+        assert check(P(a), limits=limits) is Verdict.SAT
