@@ -75,35 +75,38 @@ def lint_scope(
     A scope that is not well-formed short-circuits to a single ``OL100``
     diagnostic: the other passes assume resolvable names.
     """
+    from repro.obs import span
     from repro.testing.faults import fault_point
 
-    try:
-        check_well_formed(scope)
-    except WellFormednessError as error:
-        return fault_point(
-            "lint", LintResult(diagnostics=[diagnostic_from_error(error)])
-        )
+    with span("lint") as sp:
+        try:
+            check_well_formed(scope)
+        except WellFormednessError as error:
+            return fault_point(
+                "lint", LintResult(diagnostics=[diagnostic_from_error(error)])
+            )
 
-    result = LintResult()
-    if include_restrictions:
-        from repro.restrictions.pivot import check_pivot_uniqueness
+        result = LintResult()
+        if include_restrictions:
+            from repro.restrictions.pivot import check_pivot_uniqueness
 
-        result.diagnostics.extend(
-            violation.to_diagnostic()
-            for violation in check_pivot_uniqueness(scope)
-        )
-    if include_flow:
-        result.diagnostics.extend(check_pivot_escapes(scope))
-    if include_inference:
-        inference = infer_modifies(scope)
-        result.diagnostics.extend(inference.diagnostics)
-        result.inferred_modifies = inference.inferred
-    if include_lints:
-        result.diagnostics.extend(check_unused_declarations(scope))
-        result.diagnostics.extend(check_unreachable_code(scope))
-        result.diagnostics.extend(check_recursion(scope))
-    result.diagnostics = sorted_diagnostics(result.diagnostics)
-    return fault_point("lint", result)
+            result.diagnostics.extend(
+                violation.to_diagnostic()
+                for violation in check_pivot_uniqueness(scope)
+            )
+        if include_flow:
+            result.diagnostics.extend(check_pivot_escapes(scope))
+        if include_inference:
+            inference = infer_modifies(scope)
+            result.diagnostics.extend(inference.diagnostics)
+            result.inferred_modifies = inference.inferred
+        if include_lints:
+            result.diagnostics.extend(check_unused_declarations(scope))
+            result.diagnostics.extend(check_unreachable_code(scope))
+            result.diagnostics.extend(check_recursion(scope))
+        result.diagnostics = sorted_diagnostics(result.diagnostics)
+        sp.set(diagnostics=len(result.diagnostics))
+        return fault_point("lint", result)
 
 
 def lint_program(source: str, filename: Optional[str] = None, **passes) -> LintResult:

@@ -77,9 +77,32 @@ def parse_program_resilient(
     return scope, diagnostics
 
 
-def check_program(source: str, limits: Optional[Limits] = None) -> CheckReport:
-    """Parse, validate, and verify an oolong program text."""
-    return check_scope(parse_program(source), limits)
+def _maybe_tracing(tracer):
+    """Install ``tracer`` for the call when given; no-op context otherwise."""
+    if tracer is None:
+        from contextlib import nullcontext
+
+        return nullcontext()
+    from repro.obs import tracing
+
+    return tracing(tracer)
+
+
+def check_program(
+    source: str,
+    limits: Optional[Limits] = None,
+    *,
+    tracer=None,
+) -> CheckReport:
+    """Parse, validate, and verify an oolong program text.
+
+    ``tracer``, when given, is a :class:`repro.obs.Tracer` installed for
+    the duration of the call: the run's spans (stage boundaries,
+    per-implementation, per-VC) and prover metrics land on it, ready for
+    :func:`repro.obs.chrome_trace` / :func:`repro.obs.text_report`.
+    """
+    with _maybe_tracing(tracer):
+        return check_scope(parse_program(source), limits)
 
 
 def check_program_resilient(
@@ -87,6 +110,7 @@ def check_program_resilient(
     limits: Optional[Limits] = None,
     *,
     filename: Optional[str] = None,
+    tracer=None,
 ) -> CheckReport:
     """Parse, validate, and verify; never raises.
 
@@ -95,7 +119,21 @@ def check_program_resilient(
     propagating, every checkable implementation still gets a verdict, and
     the report always renders. This is the entry point the
     fault-injection harness drives.
+
+    ``tracer`` installs a :class:`repro.obs.Tracer` for the call (see
+    :func:`check_program`); spans still close on every failure path, so
+    traces of crashing runs are complete.
     """
+    with _maybe_tracing(tracer):
+        return _check_program_resilient(source, limits, filename=filename)
+
+
+def _check_program_resilient(
+    source: str,
+    limits: Optional[Limits],
+    *,
+    filename: Optional[str],
+) -> CheckReport:
     report = CheckReport()
     try:
         scope, diagnostics = Scope.from_sources_recovering([(filename, source)])

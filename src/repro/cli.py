@@ -12,6 +12,11 @@ and the declaration/reachability lints. No prover is involved, so it is
 fast enough for editor integration.
 
 Both accept ``--format text|json`` and ``--fail-on error|warning``.
+Check mode also carries the observability flags: ``--trace FILE``
+(Chrome trace-event JSON of the run, written on every exit path),
+``--metrics FILE`` (machine-readable pipeline/prover metrics), and
+``--profile`` (stage breakdown, slowest VCs, hottest quantifiers,
+deadline pressure). See README "Observability".
 Sources are parsed per file with panic-mode error recovery, so every
 diagnostic position names the file it points into and *all* syntax
 errors across all files are reported in one run (as ``OL001``/``OL002``
@@ -99,7 +104,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--stats",
         action="store_true",
-        help="print prover statistics per implementation",
+        help="print prover statistics per implementation (including "
+        "per-quantifier instantiation counts)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace-event JSON of the run to FILE "
+        "(open it in Perfetto or chrome://tracing); written even when "
+        "the run fails, so crash traces stay complete",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="write machine-readable pipeline/prover metrics JSON to FILE",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a profile after the report: stage breakdown, slowest "
+        "VCs, hottest quantifiers, deadline pressure",
     )
     return parser
 
@@ -180,37 +206,82 @@ def check_main(argv: Optional[List[str]] = None) -> int:
         max_instances=args.max_instances,
         scope_time_budget=args.scope_time_budget,
     )
+    tracer = None
+    if args.trace or args.metrics or args.profile:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     try:
-        scope, frontend = _parse_scope_recovering(sources)
-        if frontend:
-            _print_frontend_errors(frontend, sources, args.format)
+        return _check_traced(args, sources, limits, tracer)
+    finally:
+        # Exports happen on every exit path — a trace of a failing or
+        # crashing run is exactly the one worth keeping (spans are
+        # closed by the instrumentation's ``with`` blocks on unwind).
+        if tracer is not None:
+            _write_observability_outputs(args, tracer)
+
+
+def _check_traced(args, sources, limits: Limits, tracer) -> int:
+    from contextlib import nullcontext
+
+    from repro.obs import tracing
+
+    with tracing(tracer) if tracer is not None else nullcontext():
+        try:
+            scope, frontend = _parse_scope_recovering(sources)
+            if frontend:
+                _print_frontend_errors(frontend, sources, args.format)
+                return 2
+            check_well_formed(scope)
+            report = check_scope(
+                scope,
+                limits,
+                enforce_restrictions=not args.no_restrictions,
+                lint=not args.no_lint,
+            )
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
             return 2
-        check_well_formed(scope)
-        report = check_scope(
-            scope,
-            limits,
-            enforce_restrictions=not args.no_restrictions,
-            lint=not args.no_lint,
-        )
-    except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    except Exception as error:  # keep the CLI alive on internal crashes
-        print(f"internal error: {type(error).__name__}: {error}", file=sys.stderr)
-        return 2
+        except Exception as error:  # keep the CLI alive on internal crashes
+            print(
+                f"internal error: {type(error).__name__}: {error}",
+                file=sys.stderr,
+            )
+            return 2
     if args.format == "json":
         from repro.analysis.diagnostics import render_json
 
         payload = report.to_dict()
+        if tracer is not None:
+            payload["metrics"] = tracer.metrics.to_dict()
         print(render_json([], **payload))
     else:
         print(report.describe(stats=args.stats))
+    if args.profile:
+        from repro.obs import text_report
+
+        print(text_report(tracer))
     from repro.analysis.diagnostics import exceeds_threshold
 
     failed = not report.ok or exceeds_threshold(
         report.diagnostics, _severity_threshold(args.fail_on)
     )
     return 1 if failed else 0
+
+
+def _write_observability_outputs(args, tracer) -> None:
+    from repro.obs import write_chrome_trace, write_metrics
+
+    if args.trace:
+        try:
+            write_chrome_trace(args.trace, tracer)
+        except OSError as error:
+            print(f"error: cannot write trace: {error}", file=sys.stderr)
+    if args.metrics:
+        try:
+            write_metrics(args.metrics, tracer.metrics)
+        except OSError as error:
+            print(f"error: cannot write metrics: {error}", file=sys.stderr)
 
 
 def lint_main(argv: Optional[List[str]] = None) -> int:

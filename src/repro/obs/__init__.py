@@ -1,0 +1,74 @@
+"""``repro.obs`` — zero-dependency telemetry for the checking pipeline.
+
+Three layers:
+
+* :mod:`repro.obs.tracer` — a span tracer covering every stage boundary
+  named by :data:`repro.obs.stages.STAGES` (the same vocabulary the
+  fault-injection harness keys on) plus per-implementation and per-VC
+  child spans. The default is a no-op null path: with no tracer
+  installed, :func:`span` costs one global read.
+* :mod:`repro.obs.metrics` — a registry of counters/labelled
+  counters/timers fed from ``ProverStats`` and vcgen sizes.
+* :mod:`repro.obs.export` — Chrome trace-event JSON (open in Perfetto
+  or ``chrome://tracing``), machine-readable metrics JSON, and the
+  human ``--profile`` text report.
+
+Typical use::
+
+    from repro import obs
+
+    tracer = obs.Tracer()
+    with obs.tracing(tracer):
+        report = check_scope(scope, limits)
+    obs.write_chrome_trace("out.json", tracer)
+    print(obs.text_report(tracer))
+"""
+
+from repro.obs.metrics import MetricsRegistry, TimerStat
+from repro.obs.stages import (
+    CAT_IMPL,
+    CAT_PIPELINE,
+    CAT_STAGE,
+    CAT_VC,
+    STAGES,
+)
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    active,
+    current,
+    metrics,
+    span,
+    tracing,
+)
+from repro.obs.export import (
+    chrome_trace,
+    metrics_json,
+    text_report,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+
+__all__ = [
+    "CAT_IMPL",
+    "CAT_PIPELINE",
+    "CAT_STAGE",
+    "CAT_VC",
+    "MetricsRegistry",
+    "STAGES",
+    "Span",
+    "TimerStat",
+    "Tracer",
+    "active",
+    "chrome_trace",
+    "current",
+    "metrics",
+    "metrics_json",
+    "span",
+    "text_report",
+    "tracing",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,114 @@
+"""A zero-dependency metrics registry: counters, labelled counters, timers.
+
+The registry is deliberately dumb — plain dicts of ints and floats — so
+that feeding it from the hot pipeline costs a couple of dict operations
+and exporting it is just :meth:`MetricsRegistry.to_dict`. It is owned by
+a :class:`repro.obs.tracer.Tracer`; with no tracer active nothing in the
+pipeline ever touches a registry.
+
+Naming convention: dotted lowercase paths, subsystem first
+(``prover.instantiations``, ``vcgen.goal_nodes``, ``checker.status.verified``).
+Labelled counters add one level of keys under a single metric name
+(``prover.instantiations.by_quantifier`` → quantifier name → count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class TimerStat:
+    """Aggregate of observed durations for one timer metric."""
+
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_seconds": round(self.total, 6),
+            "max_seconds": round(self.max, 6),
+            "mean_seconds": round(self.total / self.count, 6) if self.count else 0.0,
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Counters, labelled counters, and timers for one observed run."""
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    labelled: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    timers: Dict[str, TimerStat] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def inc_labelled(self, name: str, label: str, amount: int = 1) -> None:
+        bucket = self.labelled.setdefault(name, {})
+        bucket[label] = bucket.get(label, 0) + amount
+
+    def observe(self, name: str, seconds: float) -> None:
+        timer = self.timers.get(name)
+        if timer is None:
+            timer = self.timers[name] = TimerStat()
+        timer.observe(seconds)
+
+    def record_prover_stats(self, stats) -> None:
+        """Fold one implementation's ``ProverStats`` into the registry.
+
+        Duck-typed on purpose: the registry must not import the prover
+        (the prover is instrumented *by* this package, not a dependency
+        of it).
+        """
+        self.inc("prover.checks")
+        self.inc("prover.facts", stats.facts)
+        self.inc("prover.instantiations", stats.instantiations)
+        self.inc("prover.rounds", stats.rounds)
+        self.inc("prover.branches", stats.branches)
+        self.inc("prover.conflicts", stats.conflicts)
+        self.inc("prover.egraph_merges", stats.merges)
+        self.inc("prover.matches", stats.matches)
+        self.inc("prover.unmatchable_quantifiers", stats.unmatchable_quantifiers)
+        self.inc("prover.sat_markers", len(stats.sat_markers))
+        self.observe("prover.check_seconds", stats.elapsed)
+        for quantifier, count in stats.per_quantifier.items():
+            self.inc_labelled(
+                "prover.instantiations.by_quantifier", quantifier, count
+            )
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def top(self, name: str, n: int = 5) -> List[Tuple[str, int]]:
+        """The ``n`` hottest labels of a labelled counter, descending."""
+        bucket = self.labelled.get(name, {})
+        ranked = sorted(bucket.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:n]
+
+    def to_dict(self) -> dict:
+        """Stable machine-readable rendering (used by ``--metrics``)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "labelled": {
+                name: dict(sorted(bucket.items()))
+                for name, bucket in sorted(self.labelled.items())
+            },
+            "timers": {
+                name: timer.to_dict()
+                for name, timer in sorted(self.timers.items())
+            },
+        }

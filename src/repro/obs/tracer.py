@@ -1,0 +1,215 @@
+"""A span-based tracer for the checking pipeline.
+
+Design constraints, in order:
+
+1. **The clean path stays fast.** With no tracer installed,
+   :func:`span` is one module-global ``None`` check returning a shared
+   no-op context manager — the same discipline as
+   :func:`repro.testing.faults.fault_point`, and bounded the same way
+   (``benchmarks/bench_observability.py`` keeps total hook cost on a
+   corpus run under 1%).
+2. **Spans always close.** Instrumentation sites use ``with`` blocks,
+   so an injected crash (or a real one) unwinds through ``__exit__``,
+   which stamps the end time and records the exception — traces of
+   failing runs are complete, not truncated.
+3. **Stage names are shared.** Stage-boundary spans use the names from
+   :data:`repro.obs.stages.STAGES`, the same vocabulary the
+   fault-injection harness keys on, so a trace and an injected fault
+   line up by construction.
+
+The span tree is implicit: each recorded :class:`Span` stores its parent
+index and depth, and the exporters (:mod:`repro.obs.export`) rebuild
+nesting from that — Chrome's trace viewer infers it from time
+containment on the single thread lane we emit.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stages import CAT_STAGE
+
+
+@dataclass
+class Span:
+    """One recorded interval. Times are ``perf_counter`` seconds."""
+
+    name: str
+    category: str
+    start: float
+    end: Optional[float] = None
+    parent: Optional[int] = None  # index into Tracer.spans
+    depth: int = 0
+    args: Dict[str, Any] = field(default_factory=dict)
+    #: ``"TypeName: message"`` when the span was closed by an exception.
+    error: Optional[str] = None
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+
+class _SpanHandle:
+    """Context manager yielded by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_args", "_index")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, args: dict):
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._args = args
+        self._index: Optional[int] = None
+
+    def set(self, **args: Any) -> None:
+        """Attach (or update) arguments on the live span."""
+        if self._index is not None:
+            self._tracer.spans[self._index].args.update(args)
+
+    def __enter__(self) -> "_SpanHandle":
+        tracer = self._tracer
+        stack = tracer._stack
+        span = Span(
+            name=self._name,
+            category=self._category,
+            start=tracer._clock(),
+            parent=stack[-1] if stack else None,
+            depth=len(stack),
+            args=self._args,
+        )
+        self._index = len(tracer.spans)
+        tracer.spans.append(span)
+        stack.append(self._index)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        span = tracer.spans[self._index]
+        span.end = tracer._clock()
+        if exc_type is not None:
+            span.error = f"{exc_type.__name__}: {exc}"
+        # ``with`` nesting guarantees LIFO order, but pop defensively to
+        # self-heal if a handle was (incorrectly) closed out of order.
+        while tracer._stack and tracer._stack.pop() != self._index:
+            pass
+        return False
+
+
+class _NullSpanHandle:
+    """The shared no-op handle returned when no tracer is installed."""
+
+    __slots__ = ()
+
+    def set(self, **args: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+
+class Tracer:
+    """Records a flat list of spans plus a metrics registry."""
+
+    def __init__(self):
+        self._clock = time.perf_counter
+        self.origin: float = self._clock()
+        self.spans: List[Span] = []
+        self._stack: List[int] = []
+        self.metrics = MetricsRegistry()
+
+    def span(self, name: str, category: str = CAT_STAGE, **args: Any) -> _SpanHandle:
+        return _SpanHandle(self, name, category, args)
+
+    @property
+    def open_spans(self) -> List[Span]:
+        return [self.spans[i] for i in self._stack]
+
+    def close(self) -> None:
+        """Force-close any spans left open (a safety net for exporters;
+        with ``with``-based instrumentation there should be none)."""
+        now = self._clock()
+        while self._stack:
+            span = self.spans[self._stack.pop()]
+            if span.end is None:
+                span.end = now
+                span.error = span.error or "span left open at tracer close"
+
+    def children_of(self, index: Optional[int]) -> List[int]:
+        return [
+            i for i, span in enumerate(self.spans) if span.parent == index
+        ]
+
+    def find(self, name: str, category: Optional[str] = None) -> List[Span]:
+        return [
+            span
+            for span in self.spans
+            if span.name == name
+            and (category is None or span.category == category)
+        ]
+
+
+#: The installed tracer, or None. Written only by :func:`tracing`; the
+#: clean path reads it once per instrumentation site.
+_ACTIVE: Optional[Tracer] = None
+
+
+def span(name: str, category: str = CAT_STAGE, **args: Any):
+    """Open a span on the installed tracer — or a shared no-op.
+
+    The pipeline calls this at every boundary it wants attributed; with
+    no tracer installed the cost is one global read plus the (empty)
+    kwargs dict. Expensive span arguments must be gated on
+    :func:`active` at the call site.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, category, **args)
+
+
+def active() -> bool:
+    """True when a tracer is installed (gate for costly span args)."""
+    return _ACTIVE is not None
+
+
+def current() -> Optional[Tracer]:
+    return _ACTIVE
+
+
+def metrics() -> Optional[MetricsRegistry]:
+    """The installed tracer's registry, or None on the clean path."""
+    tracer = _ACTIVE
+    return tracer.metrics if tracer is not None else None
+
+
+@contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` for the duration of the ``with`` block.
+
+    Re-entrant: a nested installation shadows (and then restores) the
+    outer one, so library code that accepts an explicit tracer composes
+    with an ambient one.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous

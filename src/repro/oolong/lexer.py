@@ -142,6 +142,10 @@ class Lexer:
 
 def tokenize(source: str, filename: Optional[str] = None) -> List[Token]:
     """Tokenize ``source`` into a list ending with an EOF token."""
+    from repro.obs import span
     from repro.testing.faults import fault_point
 
-    return fault_point("lex", list(Lexer(source, filename).tokens()))
+    with span("lex", file=filename) as sp:
+        tokens = fault_point("lex", list(Lexer(source, filename).tokens()))
+        sp.set(tokens=len(tokens))
+        return tokens

@@ -509,12 +509,17 @@ def parse_program_text(
     ``recover=True`` every syntax error is appended to ``errors`` (a
     caller-supplied list) and the surviving declarations are returned.
     """
-    parser = Parser(tokenize(source, filename), recover=recover)
-    decls = parser.parse_program()
-    parser.expect_eof()
-    if errors is not None:
-        errors.extend(parser.errors)
-    return fault_point("parse", decls)
+    tokens = tokenize(source, filename)
+    from repro.obs import span
+
+    with span("parse", file=filename) as sp:
+        parser = Parser(tokens, recover=recover)
+        decls = parser.parse_program()
+        parser.expect_eof()
+        if errors is not None:
+            errors.extend(parser.errors)
+        sp.set(decls=len(decls), errors=len(parser.errors))
+        return fault_point("parse", decls)
 
 
 @dataclass(frozen=True)
@@ -550,10 +555,14 @@ def parse_program_recovering(source: str, filename=None) -> RecoveredParse:
         tokens = tokenize(source, filename)
     except LexError as error:
         return RecoveredParse((), (error,))
-    parser = Parser(tokens, recover=True)
-    decls = parser.parse_program()
-    decls = fault_point("parse", decls)
-    return RecoveredParse(tuple(decls), tuple(parser.errors))
+    from repro.obs import span
+
+    with span("parse", file=filename) as sp:
+        parser = Parser(tokens, recover=True)
+        decls = parser.parse_program()
+        sp.set(decls=len(decls), errors=len(parser.errors))
+        decls = fault_point("parse", decls)
+        return RecoveredParse(tuple(decls), tuple(parser.errors))
 
 
 def parse_command(source: str) -> Cmd:

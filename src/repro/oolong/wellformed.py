@@ -53,19 +53,21 @@ from repro.oolong.program import Scope
 
 def check_well_formed(scope: Scope) -> None:
     """Raise :class:`WellFormednessError` on the first violated rule."""
+    from repro.obs import span
     from repro.testing.faults import fault_point
 
-    fault_point("wellformed")
-    _check_group_acyclicity(scope)
-    for decl in scope.decls:
-        if isinstance(decl, GroupDecl):
-            _check_in_targets(scope, decl.name, decl.in_groups, decl.position)
-        elif isinstance(decl, FieldDecl):
-            _check_field(scope, decl)
-        elif isinstance(decl, ProcDecl):
-            _check_proc(scope, decl)
-        elif isinstance(decl, ImplDecl):
-            _check_impl(scope, decl)
+    with span("wellformed"):
+        fault_point("wellformed")
+        _check_group_acyclicity(scope)
+        for decl in scope.decls:
+            if isinstance(decl, GroupDecl):
+                _check_in_targets(scope, decl.name, decl.in_groups, decl.position)
+            elif isinstance(decl, FieldDecl):
+                _check_field(scope, decl)
+            elif isinstance(decl, ProcDecl):
+                _check_proc(scope, decl)
+            elif isinstance(decl, ImplDecl):
+                _check_impl(scope, decl)
 
 
 # ---------------------------------------------------------------------------

@@ -104,6 +104,33 @@ class ProverStats:
     #: Values of "@obligation" marker atoms true in the first saturated
     #: branch (diagnosis of which proof obligation a non-proof stuck on).
     sat_markers: List[int] = field(default_factory=list)
+    #: Closed formulas asserted into the solver (axioms + hypotheses +
+    #: negated goal).
+    facts: int = 0
+    #: E-graph class unions performed (cumulative congruence-closure
+    #: work, including backtracked branches).
+    merges: int = 0
+    #: Trigger match bindings enumerated by E-matching (before the
+    #: relevancy filter prunes them down to ``instantiations``).
+    matches: int = 0
+
+    def to_dict(self) -> dict:
+        """Machine-readable rendering (surfaced per verdict by
+        ``CheckReport.to_dict`` and fed to the metrics registry)."""
+        return {
+            "instantiations": self.instantiations,
+            "rounds": self.rounds,
+            "branches": self.branches,
+            "conflicts": self.conflicts,
+            "max_depth": self.max_depth,
+            "unmatchable_quantifiers": self.unmatchable_quantifiers,
+            "per_quantifier": dict(sorted(self.per_quantifier.items())),
+            "elapsed": round(self.elapsed, 6),
+            "sat_markers": list(self.sat_markers),
+            "facts": self.facts,
+            "merges": self.merges,
+            "matches": self.matches,
+        }
 
 
 @dataclass
@@ -167,6 +194,7 @@ class Solver:
             raise ValueError(f"formula must be closed; free: {sorted(free)}")
         nnf = to_nnf(formula)
         self._facts.append(skolemize(nnf, self._fresh, "hyp"))
+        self.stats.facts += 1
 
     def add_negated_goal(self, goal: Formula) -> None:
         """Assert the ordered negation of ``goal`` (refutation setup)."""
@@ -175,6 +203,7 @@ class Solver:
             raise ValueError(f"goal must be closed; free: {sorted(free)}")
         nnf = negate(goal, ordered=True)
         self._facts.append(skolemize(nnf, self._fresh, "cex"))
+        self.stats.facts += 1
 
     # ------------------------------------------------------------------
     # Main entry points
@@ -203,6 +232,7 @@ class Solver:
         if verdict is None:
             verdict = self._search(state, 0)
         self.stats.elapsed = time.monotonic() - start
+        self.stats.merges = self.egraph.merges
         return ProverResult(verdict, self.stats)
 
     # ------------------------------------------------------------------
@@ -577,7 +607,9 @@ class Solver:
                 effective_limit = min(width_limit, quantifier.width_cap)
             for multipattern in record.triggers:
                 matches = 0
-                for binding in match_multipattern(self.egraph, multipattern):
+                for binding in match_multipattern(
+                    self.egraph, multipattern, stats=self.stats
+                ):
                     if self._out_of_time():
                         return "resource"
                     matches += 1

@@ -78,6 +78,11 @@ class EGraph:
         #: clients invalidate evaluation caches cheaply.
         self.version: int = 0
 
+        #: Cumulative count of class unions performed. Deliberately NOT
+        #: undone by :meth:`pop`: it measures congruence-closure *work*
+        #: (for telemetry), not live state.
+        self.merges: int = 0
+
         self.TRUE = self.intern(Const("@true"))
         self.FALSE = self.intern(Const("@false"))
         ok = self.assert_diseq(self.TRUE, self.FALSE)
@@ -247,6 +252,7 @@ class EGraph:
                 return
             # Union ry into rx.
             self.version += 1
+            self.merges += 1
             absorbed_members = list(self._members[ry])
             surviving_members = list(self._members[rx])
             self._trail.append(

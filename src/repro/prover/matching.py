@@ -22,10 +22,18 @@ Binding = Dict[str, int]
 
 
 def match_multipattern(
-    egraph: EGraph, patterns: Sequence[Term]
+    egraph: EGraph, patterns: Sequence[Term], stats=None
 ) -> Iterator[Binding]:
-    """All bindings matching every pattern of the multi-pattern."""
-    yield from _match_sequence(egraph, patterns, 0, {})
+    """All bindings matching every pattern of the multi-pattern.
+
+    ``stats``, when given, is a ``ProverStats``-shaped object whose
+    ``matches`` counter is bumped per binding enumerated — the raw
+    E-matching volume, before the solver's relevancy filter prunes it.
+    """
+    for binding in _match_sequence(egraph, patterns, 0, {}):
+        if stats is not None:
+            stats.matches += 1
+        yield binding
 
 
 def _match_sequence(

@@ -87,13 +87,16 @@ RULE_FORMAL_TARGET = "formal-target"  # OL105
 
 def check_pivot_uniqueness(scope: Scope) -> List[PivotViolation]:
     """Check every implementation in ``scope``; return all violations."""
+    from repro.obs import span
     from repro.testing.faults import fault_point
 
-    violations: List[PivotViolation] = []
-    for impls in scope.impls.values():
-        for impl in impls:
-            violations.extend(check_impl(scope, impl))
-    return fault_point("pivot", violations)
+    with span("pivot") as sp:
+        violations: List[PivotViolation] = []
+        for impls in scope.impls.values():
+            for impl in impls:
+                violations.extend(check_impl(scope, impl))
+        sp.set(violations=len(violations))
+        return fault_point("pivot", violations)
 
 
 def enforce_pivot_uniqueness(scope: Scope) -> None:

@@ -44,16 +44,10 @@ from dataclasses import dataclass, field
 from time import sleep
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-#: Every named injection point, in pipeline order.
-STAGES: Tuple[str, ...] = (
-    "lex",
-    "parse",
-    "wellformed",
-    "pivot",
-    "lint",
-    "vcgen",
-    "prove",
-)
+# Injection points are the pipeline's canonical stage names — the same
+# vocabulary the tracer spans use, so traces and injected faults line up
+# (re-exported here; the single definition lives in repro.obs.stages).
+from repro.obs.stages import STAGES
 
 #: Every fault action a plan may request.
 ACTIONS: Tuple[str, ...] = ("raise", "delay", "corrupt")

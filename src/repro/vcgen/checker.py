@@ -145,9 +145,21 @@ class CheckReport:
                     f"  [instances={counters.instantiations}"
                     f" branches={counters.branches}"
                     f" rounds={counters.rounds}"
+                    f" merges={counters.merges}"
                     f" time={counters.elapsed:.2f}s]"
                 )
             lines.append(line)
+            if stats and counters.per_quantifier:
+                ranked = sorted(
+                    counters.per_quantifier.items(),
+                    key=lambda kv: (-kv[1], kv[0]),
+                )
+                shown = ", ".join(
+                    f"{name}={count}" for name, count in ranked[:5]
+                )
+                more = len(ranked) - 5
+                suffix = f" (+{more} more)" if more > 0 else ""
+                lines.append(f"    per-quantifier: {shown}{suffix}")
         lines.append("OK" if self.ok else "FAILED")
         return "\n".join(lines)
 
@@ -177,6 +189,7 @@ class CheckReport:
                         if verdict.error is not None
                         else None
                     ),
+                    "stats": verdict.stats.to_dict(),
                 }
                 for verdict in self.verdicts
             ],
@@ -276,7 +289,33 @@ def check_scope(
     restriction) degrades to an ``OL900`` warning. Ill-formed scopes
     still raise :class:`WellFormednessError` — that is a user error, not
     a pipeline fault.
+
+    Observability: under an installed tracer (:mod:`repro.obs`) the run
+    is covered by a ``check_scope`` root span, per-stage spans at every
+    boundary the fault harness names, and per-implementation/per-VC
+    child spans; each verdict's ``ProverStats`` is folded into the
+    tracer's metrics registry.
     """
+    from repro import obs
+
+    with obs.span("check_scope", obs.CAT_PIPELINE):
+        return _check_scope_traced(
+            scope,
+            limits,
+            enforce_restrictions=enforce_restrictions,
+            lint=lint,
+        )
+
+
+def _check_scope_traced(
+    scope: Scope,
+    limits: Optional[Limits],
+    *,
+    enforce_restrictions: bool,
+    lint: bool,
+) -> CheckReport:
+    from repro import obs
+
     start = time.monotonic()
     if (
         limits is not None
@@ -339,8 +378,12 @@ def check_scope(
             )
     for impls in scope.impls.values():
         for index, impl in enumerate(impls):
-            report.verdicts.append(
-                _check_impl(scope, impl, index, limits, deadline)
-            )
+            verdict = _check_impl(scope, impl, index, limits, deadline)
+            registry = obs.metrics()
+            if registry is not None:
+                registry.record_prover_stats(verdict.stats)
+                registry.inc("checker.impls")
+                registry.inc(f"checker.status.{verdict.status.name.lower()}")
+            report.verdicts.append(verdict)
     report.elapsed = time.monotonic() - start
     return report

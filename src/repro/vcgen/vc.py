@@ -103,6 +103,28 @@ def _sort_facts(impl: ImplDecl) -> List[Formula]:
     return facts
 
 
+def formula_nodes(formula: Formula) -> int:
+    """Number of formula/term nodes — the telemetry size measure of a VC.
+
+    Generic over the dataclass shape of :mod:`repro.logic.terms`: every
+    dataclass instance counts as one node and its fields are walked,
+    tuples are walked through, leaves (names, ints, None) are free.
+    """
+    import dataclasses
+
+    count = 0
+    stack = [formula]
+    while stack:
+        node = stack.pop()
+        if dataclasses.is_dataclass(node) and not isinstance(node, type):
+            count += 1
+            for field_info in dataclasses.fields(node):
+                stack.append(getattr(node, field_info.name))
+        elif isinstance(node, (tuple, list)):
+            stack.extend(node)
+    return count
+
+
 def _marker_traversal_order(goal: Formula) -> List[int]:
     """Obligation-marker ids in left-to-right goal order (first occurrence)."""
     order: List[int] = []
@@ -161,9 +183,33 @@ class VCBundle:
     obligations: List[ObligationInfo] = field(default_factory=list)
 
     def prove(self, limits: Optional[Limits] = None) -> ProverResult:
+        from repro import obs
         from repro.testing.faults import fault_point
 
-        return fault_point("prove", prove_valid(self.hypotheses, self.goal, limits))
+        # Span nesting: stage ("prove") → implementation → VC, the same
+        # stage name the fault harness injects at, so traces and faults
+        # line up. All three close even when the fault (or the prover)
+        # raises.
+        budget = limits.time_budget if limits is not None else None
+        with obs.span("prove", impl=self.impl.name, time_budget=budget):
+            with obs.span(self.impl.name, obs.CAT_IMPL):
+                with obs.span(
+                    f"vc {self.impl.name}",
+                    obs.CAT_VC,
+                    hypotheses=len(self.hypotheses),
+                    obligations=len(self.obligations),
+                ) as sp:
+                    result = fault_point(
+                        "prove",
+                        prove_valid(self.hypotheses, self.goal, limits),
+                    )
+                    sp.set(
+                        verdict=result.verdict.value,
+                        instantiations=result.stats.instantiations,
+                        branches=result.stats.branches,
+                        merges=result.stats.merges,
+                    )
+                    return result
 
     def failed_obligation(self, result: ProverResult) -> Optional[ObligationInfo]:
         """The obligation a non-proof got stuck on, if identifiable.
@@ -197,6 +243,29 @@ def vc_for_impl(
     obligations and the corresponding ``Init`` assumptions — the unsound
     naive baseline of the Section 3 experiments.
     """
+    from repro import obs
+
+    with obs.span("vcgen", impl=impl.name):
+        with obs.span(impl.name, obs.CAT_IMPL):
+            return _build_vc(scope, impl, owner_exclusion=owner_exclusion)
+
+
+def _build_vc(
+    scope: Scope, impl: ImplDecl, *, owner_exclusion: bool
+) -> VCBundle:
+    from repro import obs
+
+    with obs.span(f"vc {impl.name}", obs.CAT_VC) as sp:
+        return _build_vc_timed(
+            scope, impl, sp, owner_exclusion=owner_exclusion
+        )
+
+
+def _build_vc_timed(
+    scope: Scope, impl: ImplDecl, sp, *, owner_exclusion: bool
+) -> VCBundle:
+    from repro import obs
+
     proc = scope.proc(impl.name)
     if proc is None:
         raise VerificationError(
@@ -228,13 +297,25 @@ def vc_for_impl(
     )
     from repro.testing.faults import fault_point
 
-    return fault_point(
-        "vcgen",
-        VCBundle(
-            impl=impl,
-            proc=proc,
-            hypotheses=hypotheses,
-            goal=goal,
-            obligations=list(wctx.obligations),
-        ),
+    bundle = VCBundle(
+        impl=impl,
+        proc=proc,
+        hypotheses=hypotheses,
+        goal=goal,
+        obligations=list(wctx.obligations),
     )
+    if obs.active():
+        # VC size telemetry — the node walk is not free, so it only runs
+        # under an installed tracer.
+        goal_nodes = formula_nodes(goal)
+        sp.set(
+            goal_nodes=goal_nodes,
+            background_axioms=len(hypotheses),
+            obligations=len(bundle.obligations),
+        )
+        registry = obs.metrics()
+        registry.inc("vcgen.vcs")
+        registry.inc("vcgen.goal_nodes", goal_nodes)
+        registry.inc("vcgen.background_axioms", len(hypotheses))
+        registry.inc("vcgen.obligations", len(bundle.obligations))
+    return fault_point("vcgen", bundle)
