@@ -1,0 +1,168 @@
+"""EXPLAIN-OVERHEAD: explanations must be free when not asked for.
+
+Explain mode threads two capture channels through the prover: a proof
+journal (appended at every fact assertion, unit propagation, case split,
+and quantifier instance) and a SAT-leaf countermodel snapshot. Disabled
+— the default — every journal site degenerates to one ``is not None``
+check on ``Solver._journal``. The claim measured here mirrors
+OBS-OVERHEAD: journal-site crossings per examples-corpus run x the cost
+of a skipped guard is under 1% of the run's wall-clock.
+
+Armed, explain mode is allowed to cost real time (it journals every
+kernel step and replays the result), but must stay within a small
+constant factor of the bare run, and every proof log it produces must
+replay clean — the replay timing is reported alongside.
+
+Run as a script (``python benchmarks/bench_explain.py``) it re-measures
+and rewrites ``BENCH_explain.json`` at the repo root — the committed
+head of this bench's trajectory, compared against fresh runs by
+``benchmarks/check_regression.py``.
+"""
+
+import json
+import os
+import sys
+import time
+
+if __package__ in (None, ""):  # script mode: python benchmarks/bench_explain.py
+    sys.path.insert(
+        0, os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+
+from benchmarks.conftest import print_row
+from repro.oolong.program import Scope
+from repro.oolong.wellformed import check_well_formed
+from repro.prover.core import Limits
+from repro.prover.prooflog import replay_proof_log
+from repro.vcgen.checker import check_scope
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+BENCH_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_explain.json")
+
+
+def _median_seconds(fn, repeats=3):
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return sorted(samples)[len(samples) // 2]
+
+
+def _example_scopes():
+    """The examples corpus (every ``examples/*.oolong``), parsed once."""
+    scopes = []
+    for name in sorted(os.listdir(EXAMPLES_DIR)):
+        if not name.endswith(".oolong"):
+            continue
+        with open(os.path.join(EXAMPLES_DIR, name)) as handle:
+            scope = Scope.from_source(handle.read(), name)
+        check_well_formed(scope)
+        scopes.append((name, scope))
+    assert scopes, "examples corpus is empty"
+    return scopes
+
+
+def measure_explain(limits):
+    """The numbers behind both the pytest guards and the committed JSON."""
+    scopes = _example_scopes()
+
+    def run_checks(explain=False):
+        reports = []
+        for _, scope in scopes:
+            reports.append(check_scope(scope, limits, explain=explain))
+        return reports
+
+    # One explain-mode run up front: its proof logs count the journal
+    # sites the disabled path crosses (every example implementation
+    # verifies, so each run's journal covers its kernel steps exactly),
+    # and its logs feed the replay timing.
+    explained = run_checks(explain=True)
+    logs = []
+    crossings = 0
+    for report in explained:
+        for verdict in report.verdicts:
+            explanation = verdict.explanation
+            assert explanation is not None
+            assert explanation.kind == "proof", (
+                f"{verdict.impl.name}: examples corpus must verify, "
+                f"got {verdict.status}"
+            )
+            assert explanation.replay is not None and explanation.replay.ok
+            logs.append(explanation.proof_log)
+            crossings += len(explanation.proof_log)
+    assert crossings > 0
+
+    check_seconds = _median_seconds(lambda: run_checks(explain=False))
+    explain_seconds = _median_seconds(lambda: run_checks(explain=True))
+
+    # Per-crossing cost of the disabled guard (`journal is not None`),
+    # amortized over a large batch; the loop overhead included here makes
+    # the estimate conservative.
+    journal = None
+    batch = 1_000_000
+    start = time.perf_counter()
+    for _ in range(batch):
+        if journal is not None:
+            raise AssertionError
+    per_crossing = (time.perf_counter() - start) / batch
+
+    replay_seconds = _median_seconds(
+        lambda: [replay_proof_log(log) for log in logs]
+    )
+
+    hook_seconds = crossings * per_crossing
+    return {
+        "programs": len(scopes),
+        "proof_logs": len(logs),
+        "proof_steps": crossings,
+        "per_crossing_ns": round(per_crossing * 1e9, 1),
+        "check_seconds": round(check_seconds, 4),
+        "hook_seconds": round(hook_seconds, 6),
+        "null_overhead_percent": round(100 * hook_seconds / check_seconds, 4),
+        "explain_seconds": round(explain_seconds, 4),
+        "explain_slowdown_percent": round(
+            100 * (explain_seconds / check_seconds - 1), 2
+        ),
+        "replay_seconds": round(replay_seconds, 4),
+    }
+
+
+def measure_for_regression():
+    """Entry point for ``benchmarks/check_regression.py``."""
+    return measure_explain(Limits(time_budget=120.0))
+
+
+def test_null_path_overhead(limits):
+    """Journal-site crossings x skipped-guard cost < 1% of the run."""
+    row = measure_explain(limits)
+    print_row("EXPLAIN-OVERHEAD", **row)
+    assert row["null_overhead_percent"] < 1.0
+
+
+def test_explain_mode_bounded(limits):
+    """Armed explain mode (journal + countermodel + replay) stays within
+    a small constant factor of the bare run — explanations must be
+    usable on the corpus itself, not only on toy inputs."""
+    row = measure_explain(limits)
+    assert row["explain_seconds"] < row["check_seconds"] * 2.5 + 0.5
+
+
+def main():
+    row = measure_explain(Limits(time_budget=120.0))
+    payload = {
+        "benchmark": "explain",
+        "unit": "null_overhead_percent of examples-corpus check_scope wall-clock",
+        "guard": "null_overhead_percent < 1.0",
+        "regression_keys": ["null_overhead_percent"],
+        "entries": [row],
+    }
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print_row("EXPLAIN-OVERHEAD", **row)
+    print(f"wrote {os.path.normpath(BENCH_JSON)}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -97,6 +97,11 @@ def measure_overhead(limits):
     }
 
 
+def measure_for_regression():
+    """Entry point for ``benchmarks/check_regression.py``."""
+    return measure_overhead(Limits(time_budget=120.0))
+
+
 def test_null_tracer_overhead(limits):
     """Crossings per examples-corpus run x null span cost < 1%."""
     row = measure_overhead(limits)
@@ -139,6 +144,7 @@ def main():
         "benchmark": "observability",
         "unit": "overhead_percent of examples-corpus check_scope wall-clock",
         "guard": "overhead_percent < 1.0",
+        "regression_keys": ["overhead_percent"],
         "entries": [row],
     }
     with open(BENCH_JSON, "w") as handle:

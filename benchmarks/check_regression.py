@@ -1,0 +1,68 @@
+"""Compare every committed ``BENCH_*.json`` against a fresh measurement.
+
+Each committed bench head (``BENCH_<name>.json`` at the repo root) names
+its benchmark, a ``guard`` invariant, and the ``regression_keys`` whose
+growth counts as a regression. This script re-measures by calling
+``benchmarks.bench_<name>.measure_for_regression()`` and fails (exit 1)
+when a fresh value exceeds the committed one by more than 10% — with a
+small absolute floor so near-zero ratios aren't failed on timer noise.
+
+Run by the CI ``bench-regression`` job:
+
+    python benchmarks/check_regression.py
+"""
+
+import glob
+import importlib
+import json
+import os
+import sys
+
+if __package__ in (None, ""):  # script mode
+    sys.path.insert(
+        0, os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+
+ROOT = os.path.join(os.path.dirname(__file__), "..")
+
+#: Allowed growth: fresh <= committed * (1 + RELATIVE) + FLOOR. The
+#: floor absorbs measurement noise on values that are already tiny
+#: (an overhead of 0.004% doubling to 0.008% is not a regression).
+RELATIVE = 0.10
+FLOOR = 0.2
+
+
+def check_bench(path):
+    """Yield ``(key, committed, fresh, ok)`` rows for one bench head."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    name = payload["benchmark"]
+    module = importlib.import_module(f"benchmarks.bench_{name}")
+    fresh = module.measure_for_regression()
+    keys = payload.get("regression_keys", [])
+    committed = payload["entries"][-1]
+    for key in keys:
+        limit = committed[key] * (1 + RELATIVE) + FLOOR
+        yield key, committed[key], fresh[key], fresh[key] <= limit
+
+
+def main():
+    pattern = os.path.join(ROOT, "BENCH_*.json")
+    paths = sorted(glob.glob(pattern))
+    if not paths:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    failed = False
+    for path in paths:
+        base = os.path.basename(path)
+        for key, committed, fresh, ok in check_bench(path):
+            status = "ok" if ok else "REGRESSION"
+            print(
+                f"{base}: {key} committed={committed} fresh={fresh} {status}"
+            )
+            failed = failed or not ok
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

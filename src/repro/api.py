@@ -93,6 +93,7 @@ def check_program(
     limits: Optional[Limits] = None,
     *,
     tracer=None,
+    explain: bool = False,
 ) -> CheckReport:
     """Parse, validate, and verify an oolong program text.
 
@@ -100,9 +101,12 @@ def check_program(
     the duration of the call: the run's spans (stage boundaries,
     per-implementation, per-VC) and prover metrics land on it, ready for
     :func:`repro.obs.chrome_trace` / :func:`repro.obs.text_report`.
+
+    ``explain=True`` attaches a blame report or replayable proof log to
+    each verdict (see :mod:`repro.obs.explain`).
     """
     with _maybe_tracing(tracer):
-        return check_scope(parse_program(source), limits)
+        return check_scope(parse_program(source), limits, explain=explain)
 
 
 def check_program_resilient(
@@ -111,6 +115,7 @@ def check_program_resilient(
     *,
     filename: Optional[str] = None,
     tracer=None,
+    explain: bool = False,
 ) -> CheckReport:
     """Parse, validate, and verify; never raises.
 
@@ -125,7 +130,9 @@ def check_program_resilient(
     traces of crashing runs are complete.
     """
     with _maybe_tracing(tracer):
-        return _check_program_resilient(source, limits, filename=filename)
+        return _check_program_resilient(
+            source, limits, filename=filename, explain=explain
+        )
 
 
 def _check_program_resilient(
@@ -133,6 +140,7 @@ def _check_program_resilient(
     limits: Optional[Limits],
     *,
     filename: Optional[str],
+    explain: bool = False,
 ) -> CheckReport:
     report = CheckReport()
     try:
@@ -151,7 +159,7 @@ def _check_program_resilient(
         return report
     report.diagnostics.extend(diagnostics)
     try:
-        inner = check_scope(scope, limits)
+        inner = check_scope(scope, limits, explain=explain)
     except ReproError as exc:
         from repro.analysis.diagnostics import diagnostic_from_error
 

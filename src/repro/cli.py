@@ -17,6 +17,10 @@ Check mode also carries the observability flags: ``--trace FILE``
 ``--metrics FILE`` (machine-readable pipeline/prover metrics), and
 ``--profile`` (stage breakdown, slowest VCs, hottest quantifiers,
 deadline pressure). See README "Observability".
+``--explain`` adds per-verdict explanations (``--explain-format
+text|json``, ``--explain-out FILE``): blame reports for failed proofs,
+replay-validated proof logs for verified ones. See README "Explaining
+failures".
 Sources are parsed per file with panic-mode error recovery, so every
 diagnostic position names the file it points into and *all* syntax
 errors across all files are reported in one run (as ``OL001``/``OL002``
@@ -127,6 +131,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a profile after the report: stage breakdown, slowest "
         "VCs, hottest quantifiers, deadline pressure",
     )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="explain every verdict: failed proofs get a source-anchored "
+        "blame report built from the prover's countermodel (which command, "
+        "which field, which modifies entries, which inclusion chain "
+        "failed); verified ones get a replay-validated proof log",
+    )
+    parser.add_argument(
+        "--explain-format",
+        choices=("text", "json"),
+        default="text",
+        help="explanation rendering (default: text); json conforms to "
+        "the in-tree explanations.schema.json",
+    )
+    parser.add_argument(
+        "--explain-out",
+        metavar="FILE",
+        default=None,
+        help="write the explanations to FILE instead of stdout (implies "
+        "--explain); written even when the run fails",
+    )
     return parser
 
 
@@ -211,17 +237,22 @@ def check_main(argv: Optional[List[str]] = None) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer()
+    if args.explain_out:
+        args.explain = True
+    outcome = {"report": None}
     try:
-        return _check_traced(args, sources, limits, tracer)
+        return _check_traced(args, sources, limits, tracer, outcome)
     finally:
         # Exports happen on every exit path — a trace of a failing or
         # crashing run is exactly the one worth keeping (spans are
         # closed by the instrumentation's ``with`` blocks on unwind).
         if tracer is not None:
             _write_observability_outputs(args, tracer)
+        if args.explain:
+            _write_explanations(args, outcome["report"])
 
 
-def _check_traced(args, sources, limits: Limits, tracer) -> int:
+def _check_traced(args, sources, limits: Limits, tracer, outcome) -> int:
     from contextlib import nullcontext
 
     from repro.obs import tracing
@@ -238,7 +269,9 @@ def _check_traced(args, sources, limits: Limits, tracer) -> int:
                 limits,
                 enforce_restrictions=not args.no_restrictions,
                 lint=not args.no_lint,
+                explain=args.explain,
             )
+            outcome["report"] = report
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
@@ -267,6 +300,41 @@ def _check_traced(args, sources, limits: Limits, tracer) -> int:
         report.diagnostics, _severity_threshold(args.fail_on)
     )
     return 1 if failed else 0
+
+
+def _write_explanations(args, report) -> None:
+    """The ``--explain`` report, written on every exit path (like
+    ``--trace``): a run that crashed before any verdict still produces a
+    valid, empty report rather than none at all."""
+    verdicts = report.verdicts if report is not None else []
+    explanations = [
+        verdict.explanation
+        for verdict in verdicts
+        if verdict.explanation is not None
+    ]
+    if args.explain_format == "json":
+        import json
+
+        from repro.obs.explain import SCHEMA_VERSION
+
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "source": ", ".join(args.files),
+            "explanations": [e.to_dict() for e in explanations],
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True)
+    else:
+        blocks = [e.render_text() for e in explanations]
+        text = "\n\n".join(blocks) if blocks else "(no explanations)"
+    if not args.explain_out:
+        print(text)
+        return
+    try:
+        with open(args.explain_out, "w") as handle:
+            handle.write(text)
+            handle.write("\n")
+    except OSError as error:
+        print(f"error: cannot write explanations: {error}", file=sys.stderr)
 
 
 def _write_observability_outputs(args, tracer) -> None:

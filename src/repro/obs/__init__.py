@@ -49,26 +49,40 @@ from repro.obs.export import (
     write_chrome_trace,
     write_metrics,
 )
+from repro.obs.explain import (
+    Explanation,
+    InclusionCheck,
+    attach_to_trace,
+    explain_result,
+    inclusion_chain,
+)
+from repro.obs.schema import validate_explanation_report
 
 __all__ = [
     "CAT_IMPL",
     "CAT_PIPELINE",
     "CAT_STAGE",
     "CAT_VC",
+    "Explanation",
+    "InclusionCheck",
     "MetricsRegistry",
     "STAGES",
     "Span",
     "TimerStat",
     "Tracer",
     "active",
+    "attach_to_trace",
     "chrome_trace",
     "current",
+    "explain_result",
+    "inclusion_chain",
     "metrics",
     "metrics_json",
     "span",
     "text_report",
     "tracing",
     "validate_chrome_trace",
+    "validate_explanation_report",
     "write_chrome_trace",
     "write_metrics",
 ]

@@ -130,6 +130,10 @@ def text_report(tracer: Tracer, *, top: int = 5) -> str:
                 detail += f" verdict={span.args['verdict']}"
             if "instantiations" in span.args:
                 detail += f" instances={span.args['instantiations']}"
+            if "blame" in span.args:
+                detail += f" blame[{span.args['blame']}]"
+            if span.args.get("replay_ok") is not None:
+                detail += f" replay_ok={span.args['replay_ok']}"
             if span.error is not None:
                 detail += f" error={span.error}"
             lines.append(f"  {span.name}: {_fmt_ms(span.duration)}{detail}")

@@ -1,0 +1,106 @@
+"""A dependency-free JSON-schema subset interpreter.
+
+The CI observability job validates ``--explain-format json`` payloads
+against the in-tree ``explanations.schema.json``. The container policy
+forbids third-party validators, so this module interprets the subset of
+JSON Schema the in-tree schemas actually use:
+
+``type`` (string or list of strings), ``properties`` / ``required`` /
+``additionalProperties: false``, ``items``, ``enum``, and ``anyOf``.
+
+:func:`validate` returns a list of human-readable errors (empty when the
+instance conforms) rather than raising, so callers can report every
+violation at once.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, List
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value: Any, name: str) -> bool:
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    expected = _TYPES.get(name)
+    if expected is None:
+        raise ValueError(f"unsupported schema type: {name!r}")
+    if expected is bool:
+        return isinstance(value, bool)
+    if expected is dict or expected is list:
+        return isinstance(value, expected)
+    # strings/null: exact, and ints must not pass as strings etc.
+    return isinstance(value, expected) and not isinstance(value, bool)
+
+
+def validate(instance: Any, schema: dict, path: str = "$") -> List[str]:
+    """All schema violations of ``instance``, as ``path: message`` lines."""
+    errors: List[str] = []
+
+    if "enum" in schema:
+        if instance not in schema["enum"]:
+            errors.append(f"{path}: {instance!r} not in {schema['enum']!r}")
+        return errors
+
+    if "anyOf" in schema:
+        branches = schema["anyOf"]
+        failures: List[List[str]] = []
+        for branch in branches:
+            branch_errors = validate(instance, branch, path)
+            if not branch_errors:
+                return errors
+            failures.append(branch_errors)
+        flat = "; ".join(error for branch in failures for error in branch)
+        errors.append(f"{path}: no anyOf branch matched ({flat})")
+        return errors
+
+    declared = schema.get("type")
+    if declared is not None:
+        names = declared if isinstance(declared, list) else [declared]
+        if not any(_type_ok(instance, name) for name in names):
+            errors.append(
+                f"{path}: expected {'/'.join(names)}, "
+                f"got {type(instance).__name__}"
+            )
+            return errors
+
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                errors.append(f"{path}: missing required property {key!r}")
+        properties = schema.get("properties", {})
+        for key, value in instance.items():
+            if key in properties:
+                errors.extend(validate(value, properties[key], f"{path}.{key}"))
+            elif schema.get("additionalProperties") is False:
+                errors.append(f"{path}: unexpected property {key!r}")
+
+    if isinstance(instance, list) and "items" in schema:
+        for index, item in enumerate(instance):
+            errors.extend(
+                validate(item, schema["items"], f"{path}[{index}]")
+            )
+
+    return errors
+
+
+def load_schema(name: str) -> dict:
+    """Load an in-tree schema (e.g. ``explanations.schema.json``)."""
+    with open(os.path.join(os.path.dirname(__file__), name)) as handle:
+        return json.load(handle)
+
+
+def validate_explanation_report(payload: Any) -> List[str]:
+    """Violations of the ``--explain-format json`` payload schema."""
+    return validate(payload, load_schema("explanations.schema.json"))

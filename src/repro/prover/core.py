@@ -43,8 +43,23 @@ from repro.logic.terms import (
     Term,
     TrueF,
 )
+from repro.prover.countermodel import Countermodel, capture_countermodel
 from repro.prover.egraph import EGraph
 from repro.prover.matching import match_multipattern
+from repro.prover.prooflog import (
+    CLOSE_CLAUSE,
+    CLOSE_KERNEL,
+    STEP_BRANCH,
+    STEP_CLOSE,
+    STEP_END_SPLIT,
+    STEP_FACT,
+    STEP_INSTANCE,
+    STEP_PROPAGATE,
+    STEP_SPLIT,
+    ProofLog,
+    ProofStep,
+    flatten_forall,
+)
 from repro.prover.triggers import infer_triggers
 
 
@@ -113,6 +128,9 @@ class ProverStats:
     #: Trigger match bindings enumerated by E-matching (before the
     #: relevancy filter prunes them down to ``instantiations``).
     matches: int = 0
+    #: ``matches`` attributed per quantifier name (raw E-matching volume;
+    #: compare with ``per_quantifier`` to see the relevancy filter's cut).
+    matches_by_quantifier: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """Machine-readable rendering (surfaced per verdict by
@@ -130,6 +148,9 @@ class ProverStats:
             "facts": self.facts,
             "merges": self.merges,
             "matches": self.matches,
+            "matches_by_quantifier": dict(
+                sorted(self.matches_by_quantifier.items())
+            ),
         }
 
 
@@ -139,6 +160,10 @@ class ProverResult:
 
     verdict: Verdict
     stats: ProverStats
+    #: In explain mode only: the refuting branch snapshot on ``SAT`` …
+    countermodel: Optional[Countermodel] = None
+    #: … and the replayable step record of the refutation on ``UNSAT``.
+    proof_log: Optional[ProofLog] = None
 
     @property
     def valid(self) -> bool:
@@ -169,7 +194,7 @@ class _State:
 class Solver:
     """A refutation-based solver for closed first-order formulas."""
 
-    def __init__(self, limits: Optional[Limits] = None):
+    def __init__(self, limits: Optional[Limits] = None, *, explain: bool = False):
         self.limits = limits or Limits()
         self.egraph = EGraph()
         self.stats = ProverStats()
@@ -182,6 +207,11 @@ class Solver:
         self._cache_version: int = -1
         self._lookup_cache: Dict[int, Tuple] = {}
         self._eval_cache: Dict[int, Tuple] = {}
+        #: Explain mode: journal proof steps and keep the refuting branch.
+        #: The default (off) path pays only ``is not None`` checks.
+        self.explain = explain
+        self._journal: Optional[List[ProofStep]] = [] if explain else None
+        self._countermodel: Optional[Countermodel] = None
 
     # ------------------------------------------------------------------
     # Loading formulas
@@ -224,16 +254,28 @@ class Solver:
         verdict: Optional[Verdict] = None
         for fact in self._facts:
             if self._out_of_time():
+                self._record_sat_markers()
                 verdict = Verdict.RESOURCE_OUT
                 break
+            if self._journal is not None:
+                self._journal.append(ProofStep(STEP_FACT, formula=fact))
             if not self._assert(fact, state):
+                if self._journal is not None:
+                    self._journal.append(
+                        ProofStep(STEP_CLOSE, reason=CLOSE_KERNEL)
+                    )
                 verdict = Verdict.UNSAT
                 break
         if verdict is None:
             verdict = self._search(state, 0)
         self.stats.elapsed = time.monotonic() - start
         self.stats.merges = self.egraph.merges
-        return ProverResult(verdict, self.stats)
+        result = ProverResult(verdict, self.stats)
+        if self._journal is not None and verdict is Verdict.UNSAT:
+            result.proof_log = ProofLog(list(self._journal))
+        if verdict is Verdict.SAT:
+            result.countermodel = self._countermodel
+        return result
 
     # ------------------------------------------------------------------
     # Assertion of NNF formulas
@@ -305,17 +347,9 @@ class Solver:
 
     def _add_quantifier(self, formula: Forall, state: _State) -> None:
         # Flatten a Forall prefix so triggers can cover all variables.
-        while isinstance(formula.body, Forall):
-            inner = formula.body
-            triggers = inner.triggers or formula.triggers
-            caps = [c for c in (formula.width_cap, inner.width_cap) if c is not None]
-            formula = Forall(
-                formula.vars + inner.vars,
-                inner.body,
-                triggers,
-                formula.name or inner.name,
-                min(caps) if caps else None,
-            )
+        # Shared with the proof-log replay checker, which must register
+        # structurally identical quantifiers.
+        formula = flatten_forall(formula)
         triggers = formula.triggers
         if not triggers:
             triggers = infer_triggers(formula)
@@ -477,9 +511,11 @@ class Solver:
     def _search(self, state: _State, depth: int) -> Verdict:
         self.stats.max_depth = max(self.stats.max_depth, depth)
         if depth > self.limits.max_depth:
+            self._record_sat_markers()
             return Verdict.RESOURCE_OUT
         while True:
             if self._out_of_time():
+                self._record_sat_markers()
                 return Verdict.RESOURCE_OUT
             progressed, verdict = self._propagate(state)
             if verdict is not None:
@@ -490,6 +526,7 @@ class Solver:
                 return self._split(state, depth)
             # Leaf: instantiate quantifiers.
             if state.rounds >= self.limits.max_rounds:
+                self._record_sat_markers()
                 return Verdict.RESOURCE_OUT
             state.rounds += 1
             self.stats.rounds += 1
@@ -503,11 +540,21 @@ class Solver:
                 )
                 bonus += 1
             if outcome == "resource":
+                self._record_sat_markers()
                 return Verdict.RESOURCE_OUT
             if outcome == "conflict":
                 return Verdict.UNSAT
             if outcome == 0:
-                self._record_sat_markers()
+                # The branch saturated: the goal is not provable, and this
+                # E-graph *is* the refutation's counterexample. Record the
+                # obligation markers (forced: a resource-out sibling may
+                # have left stale ones behind) and, in explain mode,
+                # snapshot the branch before the unwind discards it.
+                self._record_sat_markers(force=True)
+                if self.explain and self._countermodel is None:
+                    self._countermodel = capture_countermodel(
+                        self.egraph, self._seen, self.stats.sat_markers
+                    )
                 return Verdict.SAT
 
     def _propagate(self, state: _State) -> Tuple[bool, Optional[Verdict]]:
@@ -521,9 +568,27 @@ class Solver:
                 continue
             if status == "conflict":
                 self.stats.conflicts += 1
+                if self._journal is not None:
+                    self._journal.append(
+                        ProofStep(
+                            STEP_CLOSE, clause=disjunction, reason=CLOSE_CLAUSE
+                        )
+                    )
                 return progressed, Verdict.UNSAT
             if len(remaining) == 1:
+                if self._journal is not None:
+                    self._journal.append(
+                        ProofStep(
+                            STEP_PROPAGATE,
+                            formula=remaining[0],
+                            clause=disjunction,
+                        )
+                    )
                 if not self._assert(remaining[0], state):
+                    if self._journal is not None:
+                        self._journal.append(
+                            ProofStep(STEP_CLOSE, reason=CLOSE_KERNEL)
+                        )
                     return progressed, Verdict.UNSAT
                 progressed = True
             elif len(remaining) < len(disjunction.disjuncts):
@@ -544,17 +609,27 @@ class Solver:
         )
         disjunction = state.disjunctions[best_index]
         rest = [d for d in state.disjunctions if d is not disjunction]
+        if self._journal is not None:
+            self._journal.append(ProofStep(STEP_SPLIT, clause=disjunction))
         saw_resource = False
-        for disjunct in disjunction.disjuncts:
+        for index, disjunct in enumerate(disjunction.disjuncts):
             if self._out_of_time():
+                self._record_sat_markers()
                 return Verdict.RESOURCE_OUT
             if self.stats.branches >= self.limits.max_branches:
+                self._record_sat_markers()
                 return Verdict.RESOURCE_OUT
             self.stats.branches += 1
+            if self._journal is not None:
+                self._journal.append(
+                    ProofStep(STEP_BRANCH, formula=disjunct, index=index)
+                )
             mark = self.egraph.push()
             seen_mark = len(self._seen_trail)
             child = _State(list(rest), list(state.quants), state.rounds)
             ok = self._assert(disjunct, child)
+            if not ok and self._journal is not None:
+                self._journal.append(ProofStep(STEP_CLOSE, reason=CLOSE_KERNEL))
             result = self._search(child, depth + 1) if ok else Verdict.UNSAT
             self.egraph.pop(mark)
             self._pop_seen(seen_mark)
@@ -562,12 +637,24 @@ class Solver:
                 return Verdict.SAT
             if result is Verdict.RESOURCE_OUT:
                 saw_resource = True
-        return Verdict.RESOURCE_OUT if saw_resource else Verdict.UNSAT
+        if saw_resource:
+            return Verdict.RESOURCE_OUT
+        if self._journal is not None:
+            self._journal.append(ProofStep(STEP_END_SPLIT))
+        return Verdict.UNSAT
 
-    def _record_sat_markers(self) -> None:
-        """Remember which obligation markers hold in the first SAT branch."""
+    def _record_sat_markers(self, force: bool = False) -> None:
+        """Remember which obligation markers hold in the current branch.
+
+        Recorded at the first saturated (SAT) leaf — where ``force``
+        overwrites any markers left by an earlier resource-out branch —
+        and at resource-out points, so ``RESOURCE_OUT``/``TIMED_OUT``
+        verdicts can still name the obligation the prover was chewing on.
+        """
         if self.stats.sat_markers:
-            return
+            if not force:
+                return
+            self.stats.sat_markers.clear()
         from repro.logic.terms import IntLit as _IntLit
 
         for node in self.egraph.apps_with_head("@obligation"):
@@ -608,7 +695,10 @@ class Solver:
             for multipattern in record.triggers:
                 matches = 0
                 for binding in match_multipattern(
-                    self.egraph, multipattern, stats=self.stats
+                    self.egraph,
+                    multipattern,
+                    stats=self.stats,
+                    name=quantifier.name or "<anonymous>",
                 ):
                     if self._out_of_time():
                         return "resource"
@@ -658,7 +748,24 @@ class Solver:
             if self.stats.instantiations > self.limits.max_instances:
                 return "resource"
             added += 1
+            if self._journal is not None:
+                witnesses = {
+                    v: self.egraph.term_of(node)
+                    for v, node in zip(quantifier.vars, key[1])
+                }
+                self._journal.append(
+                    ProofStep(
+                        STEP_INSTANCE,
+                        formula=instance,
+                        quantifier=quantifier,
+                        witnesses=witnesses,
+                    )
+                )
             if not self._assert(instance, state):
+                if self._journal is not None:
+                    self._journal.append(
+                        ProofStep(STEP_CLOSE, reason=CLOSE_KERNEL)
+                    )
                 return "conflict"
         return added
 
@@ -667,14 +774,19 @@ def prove_valid(
     axioms: List[Formula],
     goal: Formula,
     limits: Optional[Limits] = None,
+    *,
+    explain: bool = False,
 ) -> ProverResult:
     """Prove ``(and axioms) ==> goal`` by refutation.
 
     ``UNSAT`` means the implication is valid; ``SAT`` means the prover
     saturated without closing (not provable with the given axioms);
     ``RESOURCE_OUT`` means the instantiation/time budget was exhausted.
+    With ``explain``, the result additionally carries a replayable
+    :class:`~repro.prover.prooflog.ProofLog` (``UNSAT``) or a
+    :class:`~repro.prover.countermodel.Countermodel` (``SAT``).
     """
-    solver = Solver(limits)
+    solver = Solver(limits, explain=explain)
     for axiom in axioms:
         solver.add(axiom)
     solver.add_negated_goal(goal)

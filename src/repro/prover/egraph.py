@@ -400,6 +400,10 @@ class EGraph:
     def int_value_of(self, node: int) -> Optional[int]:
         return self._int_value[self.find(node)]
 
+    def diseq_pairs(self) -> Tuple[Tuple[int, int], ...]:
+        """The asserted disequalities, as node-id pairs (for countermodels)."""
+        return tuple(self._diseqs)
+
     @property
     def node_count(self) -> int:
         return len(self._term)

@@ -22,17 +22,22 @@ Binding = Dict[str, int]
 
 
 def match_multipattern(
-    egraph: EGraph, patterns: Sequence[Term], stats=None
+    egraph: EGraph, patterns: Sequence[Term], stats=None, name=None
 ) -> Iterator[Binding]:
     """All bindings matching every pattern of the multi-pattern.
 
     ``stats``, when given, is a ``ProverStats``-shaped object whose
     ``matches`` counter is bumped per binding enumerated — the raw
     E-matching volume, before the solver's relevancy filter prunes it.
+    ``name`` additionally attributes those matches to a quantifier in
+    ``stats.matches_by_quantifier``.
     """
     for binding in _match_sequence(egraph, patterns, 0, {}):
         if stats is not None:
             stats.matches += 1
+            if name is not None:
+                by_name = stats.matches_by_quantifier
+                by_name[name] = by_name.get(name, 0) + 1
         yield binding
 
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.analysis.diagnostics import (
     Diagnostic,
@@ -42,6 +42,9 @@ from repro.prover.core import Limits, ProverStats, Verdict
 from repro.restrictions.pivot import PivotViolation, check_pivot_uniqueness
 from repro.vcgen.vc import vc_for_impl
 from repro.vcgen.wlp import ObligationInfo
+
+if TYPE_CHECKING:
+    from repro.obs.explain import Explanation
 
 
 class ImplStatus(enum.Enum):
@@ -69,6 +72,9 @@ class ImplVerdict:
     failed_obligation: Optional[ObligationInfo] = None
     #: For ``INTERNAL_ERROR``/``TIMED_OUT``: the OL9xx detail diagnostic.
     error: Optional[Diagnostic] = None
+    #: In explain mode: the blame report (non-proofs) or replayable
+    #: proof log (``VERIFIED``) — see :mod:`repro.obs.explain`.
+    explanation: Optional["Explanation"] = None
 
     @property
     def ok(self) -> bool:
@@ -189,6 +195,11 @@ class CheckReport:
                         if verdict.error is not None
                         else None
                     ),
+                    "explanation": (
+                        verdict.explanation.to_dict()
+                        if verdict.explanation is not None
+                        else None
+                    ),
                     "stats": verdict.stats.to_dict(),
                 }
                 for verdict in self.verdicts
@@ -213,20 +224,30 @@ def _check_impl(
     index: int,
     limits: Optional[Limits],
     deadline: Optional[float],
-) -> ImplVerdict:
+    explain: bool = False,
+) -> Tuple[ImplVerdict, Optional[Diagnostic]]:
     """Check one implementation in isolation: any crash or overrun is
-    converted into a verdict rather than propagated."""
+    converted into a verdict rather than propagated.
+
+    Returns the verdict plus, in explain mode, an optional ``OL900``
+    warning when the explainer itself crashed — explanation is advisory,
+    so the verdict survives and the crash degrades like the other
+    advisory passes.
+    """
     if deadline is not None and time.monotonic() >= deadline:
-        return ImplVerdict(
-            impl=impl,
-            index=index,
-            status=ImplStatus.TIMED_OUT,
-            stats=ProverStats(),
-            error=_deadline_diagnostic(impl, before=True),
+        return (
+            ImplVerdict(
+                impl=impl,
+                index=index,
+                status=ImplStatus.TIMED_OUT,
+                stats=ProverStats(),
+                error=_deadline_diagnostic(impl, before=True),
+            ),
+            None,
         )
     try:
         bundle = vc_for_impl(scope, impl)
-        result = bundle.prove(limits)
+        result = bundle.prove(limits, explain=explain)
         verdict = result.verdict
         stats = result.stats
         error: Optional[Diagnostic] = None
@@ -239,12 +260,16 @@ def _check_impl(
             error = _deadline_diagnostic(impl, before=False)
         else:
             status = ImplStatus.RESOURCE_OUT
+        # A resource-out or timed-out branch records the obligation it
+        # was working on too (the prover snapshots its markers before
+        # giving up), so those verdicts also name a culprit when the
+        # markers identify one.
         failed = (
             bundle.failed_obligation(result)
-            if status is ImplStatus.NOT_PROVED
+            if status is not ImplStatus.VERIFIED
             else None
         )
-        return ImplVerdict(
+        impl_verdict = ImplVerdict(
             impl=impl,
             index=index,
             status=status,
@@ -252,15 +277,35 @@ def _check_impl(
             failed_obligation=failed,
             error=error,
         )
+        explain_crash: Optional[Diagnostic] = None
+        if explain:
+            try:
+                from repro.obs.explain import attach_to_trace, explain_result
+
+                impl_verdict.explanation = explain_result(
+                    scope, impl.name, index, status.value, failed, result
+                )
+                attach_to_trace(impl_verdict.explanation)
+            except Exception as exc:  # advisory: keep the verdict
+                explain_crash = internal_error_diagnostic(
+                    "verdict explanation",
+                    exc,
+                    impl=impl.name,
+                    severity=Severity.WARNING,
+                )
+        return impl_verdict, explain_crash
     except Exception as exc:  # crash isolation: never lose the batch
-        return ImplVerdict(
-            impl=impl,
-            index=index,
-            status=ImplStatus.INTERNAL_ERROR,
-            stats=ProverStats(),
-            error=internal_error_diagnostic(
-                "verification", exc, impl=impl.name
+        return (
+            ImplVerdict(
+                impl=impl,
+                index=index,
+                status=ImplStatus.INTERNAL_ERROR,
+                stats=ProverStats(),
+                error=internal_error_diagnostic(
+                    "verification", exc, impl=impl.name
+                ),
             ),
+            None,
         )
 
 
@@ -270,8 +315,14 @@ def check_scope(
     *,
     enforce_restrictions: bool = True,
     lint: bool = True,
+    explain: bool = False,
 ) -> CheckReport:
     """Check every implementation in ``scope``.
+
+    ``explain=True`` asks the prover to keep its reasoning: failed
+    verdicts carry a source-anchored blame report built from the
+    refuting branch's countermodel, verified ones a replayable proof
+    log (:mod:`repro.obs.explain`). The default path pays nothing.
 
     ``enforce_restrictions=False`` disables the pivot-uniqueness pass (used
     by the baseline experiments that demonstrate why the restriction is
@@ -304,6 +355,7 @@ def check_scope(
             limits,
             enforce_restrictions=enforce_restrictions,
             lint=lint,
+            explain=explain,
         )
 
 
@@ -313,6 +365,7 @@ def _check_scope_traced(
     *,
     enforce_restrictions: bool,
     lint: bool,
+    explain: bool = False,
 ) -> CheckReport:
     from repro import obs
 
@@ -378,7 +431,11 @@ def _check_scope_traced(
             )
     for impls in scope.impls.values():
         for index, impl in enumerate(impls):
-            verdict = _check_impl(scope, impl, index, limits, deadline)
+            verdict, explain_crash = _check_impl(
+                scope, impl, index, limits, deadline, explain
+            )
+            if explain_crash is not None:
+                report.diagnostics.append(explain_crash)
             registry = obs.metrics()
             if registry is not None:
                 registry.record_prover_stats(verdict.stats)

@@ -182,7 +182,9 @@ class VCBundle:
     goal: Formula
     obligations: List[ObligationInfo] = field(default_factory=list)
 
-    def prove(self, limits: Optional[Limits] = None) -> ProverResult:
+    def prove(
+        self, limits: Optional[Limits] = None, *, explain: bool = False
+    ) -> ProverResult:
         from repro import obs
         from repro.testing.faults import fault_point
 
@@ -201,7 +203,12 @@ class VCBundle:
                 ) as sp:
                     result = fault_point(
                         "prove",
-                        prove_valid(self.hypotheses, self.goal, limits),
+                        prove_valid(
+                            self.hypotheses,
+                            self.goal,
+                            limits,
+                            explain=explain,
+                        ),
                     )
                     sp.set(
                         verdict=result.verdict.value,

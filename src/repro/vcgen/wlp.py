@@ -21,7 +21,7 @@ operationally correct reading of the paper's substitution chain.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import VerificationError
 from repro.logic.terms import (
@@ -51,6 +51,7 @@ from repro.oolong.ast import (
     ProcDecl,
     Seq,
     Skip,
+    SourcePosition,
     VarCmd,
 )
 from repro.oolong.program import Scope
@@ -82,14 +83,47 @@ from repro.logic.terms import OBLIGATION_MARKER
 
 @dataclass(frozen=True)
 class ObligationInfo:
-    """What one proof obligation is about, for failure reporting."""
+    """What one proof obligation is about, for failure reporting.
+
+    Beyond the human-readable ``description``, the structured fields
+    carry what the explanation layer (:mod:`repro.obs.explain`) needs to
+    anchor blame without re-deriving the wlp: the source position of the
+    offending command, the written location, and the modifies-list
+    entries the licence was checked against.
+    """
 
     ident: int
     kind: str
     description: str
+    #: Source position of the command that raised the obligation.
+    position: Optional["SourcePosition"] = None
+    #: The location being written / checked, as source text (``t.f``).
+    target: Optional[str] = None
+    #: The attribute of that location (the ``f`` of ``t.f``).
+    attr: Optional[str] = None
+    #: The modifies-list entries the licence was checked against, as
+    #: source text, in declaration order.
+    modifies: Tuple[str, ...] = ()
+    #: For call obligations: the callee's name …
+    callee: Optional[str] = None
+    #: … and, for owner exclusion, the 1-based argument position.
+    arg_index: Optional[int] = None
 
     def __str__(self) -> str:
         return f"{self.kind}: {self.description}"
+
+    def to_dict(self) -> dict:
+        return {
+            "ident": self.ident,
+            "kind": self.kind,
+            "description": self.description,
+            "position": str(self.position) if self.position else None,
+            "target": self.target,
+            "attr": self.attr,
+            "modifies": list(self.modifies),
+            "callee": self.callee,
+            "arg_index": self.arg_index,
+        }
 
 
 @dataclass
@@ -125,14 +159,23 @@ class WlpContext:
     def self_env(self) -> Dict[str, Term]:
         return {p: self.ctx.env[p] for p in self.proc.params}
 
-    def obligation(self, kind: str, description: str, formula: Formula) -> Formula:
-        """Tag ``formula`` as a numbered proof obligation."""
+    def obligation(
+        self, kind: str, description: str, formula: Formula, **details
+    ) -> Formula:
+        """Tag ``formula`` as a numbered proof obligation.
+
+        ``details`` are the structured :class:`ObligationInfo` fields
+        (``position``, ``target``, ``attr``, ``modifies``, ``callee``,
+        ``arg_index``) consumed by the explanation layer.
+        """
         from repro.logic.terms import IntLit, Pred
 
         from repro.logic.terms import And
 
         ident = len(self.obligations)
-        self.obligations.append(ObligationInfo(ident, kind, description))
+        self.obligations.append(
+            ObligationInfo(ident, kind, description, **details)
+        )
         marker = Pred(OBLIGATION_MARKER, (IntLit(ident),))
         # A raw And, not conj(): folding must not absorb the marker when
         # the obligation is literally false (e.g. `assert false`).
@@ -152,7 +195,11 @@ def wlp(cmd: Cmd, post: Formula, wctx: WlpContext) -> Formula:
             f" at {cmd.position}" if cmd.position else ""
         )
         tagged = wctx.obligation(
-            "assert", where, tr_formula(cmd.condition, store, wctx.ctx)
+            "assert",
+            where,
+            tr_formula(cmd.condition, store, wctx.ctx),
+            position=cmd.position,
+            target=str(cmd.condition),
         )
         core = conj((tagged, post))
         return _guard((cmd.condition,), core, wctx)
@@ -209,6 +256,10 @@ def _wlp_assign(cmd: Assign, post: Formula, wctx: WlpContext) -> Formula:
         "write-licence",
         f"write to {cmd.target}" + (f" at {cmd.position}" if cmd.position else ""),
         mod_formula(obj, attr, wctx.self_modifies, wctx.self_env, wctx.entry_store),
+        position=cmd.position,
+        target=str(cmd.target),
+        attr=cmd.target.attr,
+        modifies=tuple(str(d) for d in wctx.self_modifies),
     )
     updated = subst_formula(post, {"$": upd(store, obj, attr, rhs)})
     # Guard on the whole target: writing t.f dereferences t.
@@ -231,6 +282,10 @@ def _wlp_assign_new(cmd: AssignNew, post: Formula, wctx: WlpContext) -> Formula:
         f"allocation into {cmd.target}"
         + (f" at {cmd.position}" if cmd.position else ""),
         mod_formula(obj, attr, wctx.self_modifies, wctx.self_env, wctx.entry_store),
+        position=cmd.position,
+        target=str(cmd.target),
+        attr=cmd.target.attr,
+        modifies=tuple(str(d) for d in wctx.self_modifies),
     )
     updated = subst_formula(
         post, {"$": upd(succ(store), obj, attr, new(store))}
@@ -264,6 +319,11 @@ def _wlp_call(cmd: Call, post: Formula, wctx: WlpContext) -> Formula:
                     wctx.self_env,
                     wctx.entry_store,
                 ),
+                position=cmd.position,
+                target=str(designator),
+                attr=designator.attr,
+                modifies=tuple(str(d) for d in wctx.self_modifies),
+                callee=cmd.proc,
             )
         )
 
@@ -279,6 +339,11 @@ def _wlp_call(cmd: Call, post: Formula, wctx: WlpContext) -> Formula:
                         "owner-exclusion",
                         f"{where}: argument #{index + 1} ({cmd.args[index]})",
                         own,
+                        position=cmd.position,
+                        target=str(cmd.args[index]),
+                        modifies=tuple(str(d) for d in callee.modifies),
+                        callee=cmd.proc,
+                        arg_index=index + 1,
                     )
                 )
 
