@@ -4,14 +4,28 @@ Each committed bench head (``BENCH_<name>.json`` at the repo root) names
 its benchmark, a ``guard`` invariant, and the ``regression_keys`` whose
 growth counts as a regression. This script re-measures by calling
 ``benchmarks.bench_<name>.measure_for_regression()`` and fails (exit 1)
-when a fresh value exceeds the committed one by more than 10% — with a
-small absolute floor so near-zero ratios aren't failed on timer noise.
+when a fresh value exceeds the committed one by more than the tolerance
+— with a small absolute floor so near-zero ratios aren't failed on
+timer noise.
 
-Run by the CI ``bench-regression`` job:
+Wall-clock comparisons on shared CI runners flake if taken from a single
+cold measurement, so the harness re-measures: ``--warmup`` runs are
+discarded (cold caches, first-import cost), then the elementwise **best
+of ``--runs`` measurements** is compared — a regression must reproduce
+across every run to fail the job, a one-off scheduler hiccup cannot.
 
-    python benchmarks/check_regression.py
+Tolerances are configurable per invocation (CI passes looser ones than
+the local default) via flags or environment:
+
+    python benchmarks/check_regression.py \
+        --relative 0.25 --floor 0.2 --runs 3 --warmup 1
+
+    BENCH_REGRESSION_RELATIVE=0.25 python benchmarks/check_regression.py
+
+Run by the CI ``bench-regression`` job.
 """
 
+import argparse
 import glob
 import importlib
 import json
@@ -25,37 +39,129 @@ if __package__ in (None, ""):  # script mode
 
 ROOT = os.path.join(os.path.dirname(__file__), "..")
 
-#: Allowed growth: fresh <= committed * (1 + RELATIVE) + FLOOR. The
-#: floor absorbs measurement noise on values that are already tiny
+#: Default allowed growth: fresh <= committed * (1 + RELATIVE) + FLOOR.
+#: The floor absorbs measurement noise on values that are already tiny
 #: (an overhead of 0.004% doubling to 0.008% is not a regression).
-RELATIVE = 0.10
-FLOOR = 0.2
+DEFAULT_RELATIVE = 0.10
+DEFAULT_FLOOR = 0.2
+#: Defaults for the re-measurement policy: one discarded warm-up, then
+#: best-of-two comparisons.
+DEFAULT_RUNS = 2
+DEFAULT_WARMUP = 1
 
 
-def check_bench(path):
+def _env_default(name, fallback, cast):
+    value = os.environ.get(name)
+    if value is None:
+        return fallback
+    try:
+        return cast(value)
+    except ValueError:
+        print(f"warning: ignoring bad {name}={value!r}", file=sys.stderr)
+        return fallback
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Compare committed BENCH_*.json heads to fresh runs."
+    )
+    parser.add_argument(
+        "--relative",
+        type=float,
+        default=_env_default(
+            "BENCH_REGRESSION_RELATIVE", DEFAULT_RELATIVE, float
+        ),
+        help="allowed relative growth (default: %(default)s; env "
+        "BENCH_REGRESSION_RELATIVE)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=_env_default("BENCH_REGRESSION_FLOOR", DEFAULT_FLOOR, float),
+        help="absolute slack added on top of the relative tolerance "
+        "(default: %(default)s; env BENCH_REGRESSION_FLOOR)",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=_env_default("BENCH_REGRESSION_RUNS", DEFAULT_RUNS, int),
+        help="fresh measurements per benchmark; the elementwise minimum "
+        "is compared, so a regression must reproduce in every run "
+        "(default: %(default)s; env BENCH_REGRESSION_RUNS)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=_env_default("BENCH_REGRESSION_WARMUP", DEFAULT_WARMUP, int),
+        help="discarded warm-up measurements per benchmark "
+        "(default: %(default)s; env BENCH_REGRESSION_WARMUP)",
+    )
+    parser.add_argument(
+        "--only",
+        metavar="NAME",
+        default=None,
+        help="check a single benchmark head (e.g. 'parallel')",
+    )
+    return parser.parse_args(argv)
+
+
+def measure_fresh(module, keys, runs, warmup):
+    """Best-of-``runs`` fresh measurement (after ``warmup`` discards).
+
+    'Best' is the elementwise minimum over the regression keys: every
+    key in a bench head measures a cost, so the minimum is the least
+    machine-noise-contaminated observation of each.
+    """
+    for _ in range(max(0, warmup)):
+        module.measure_for_regression()
+    best = None
+    for _ in range(max(1, runs)):
+        row = module.measure_for_regression()
+        if best is None:
+            best = dict(row)
+        else:
+            for key in keys:
+                if key in row and key in best:
+                    best[key] = min(best[key], row[key])
+    return best
+
+
+def check_bench(path, options):
     """Yield ``(key, committed, fresh, ok)`` rows for one bench head."""
     with open(path) as handle:
         payload = json.load(handle)
     name = payload["benchmark"]
     module = importlib.import_module(f"benchmarks.bench_{name}")
-    fresh = module.measure_for_regression()
     keys = payload.get("regression_keys", [])
+    fresh = measure_fresh(module, keys, options.runs, options.warmup)
     committed = payload["entries"][-1]
     for key in keys:
-        limit = committed[key] * (1 + RELATIVE) + FLOOR
+        limit = committed[key] * (1 + options.relative) + options.floor
         yield key, committed[key], fresh[key], fresh[key] <= limit
 
 
-def main():
+def main(argv=None):
+    options = parse_args(argv)
     pattern = os.path.join(ROOT, "BENCH_*.json")
     paths = sorted(glob.glob(pattern))
+    if options.only is not None:
+        paths = [
+            p
+            for p in paths
+            if os.path.basename(p) == f"BENCH_{options.only}.json"
+        ]
     if not paths:
         print("no BENCH_*.json files found", file=sys.stderr)
         return 1
+    print(
+        f"tolerance: fresh <= committed * {1 + options.relative:.2f} "
+        f"+ {options.floor} (best of {options.runs} run(s), "
+        f"{options.warmup} warm-up(s))"
+    )
     failed = False
     for path in paths:
         base = os.path.basename(path)
-        for key, committed, fresh, ok in check_bench(path):
+        for key, committed, fresh, ok in check_bench(path, options):
             status = "ok" if ok else "REGRESSION"
             print(
                 f"{base}: {key} committed={committed} fresh={fresh} {status}"

@@ -75,6 +75,8 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     # OL9xx — pipeline faults (crash isolation and deadlines).
     "OL900": (Severity.ERROR, "internal error in a checking stage"),
     "OL901": (Severity.ERROR, "time budget exhausted"),
+    "OL902": (Severity.ERROR, "worker process died repeatedly; job quarantined"),
+    "OL903": (Severity.WARNING, "result cache entry rejected"),
 }
 
 #: Legacy rule-tag aliases (the strings PivotViolation has always used).

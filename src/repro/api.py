@@ -94,6 +94,10 @@ def check_program(
     *,
     tracer=None,
     explain: bool = False,
+    parallel: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    job_timeout: Optional[float] = None,
+    max_retries: int = 2,
 ) -> CheckReport:
     """Parse, validate, and verify an oolong program text.
 
@@ -104,9 +108,23 @@ def check_program(
 
     ``explain=True`` attaches a blame report or replayable proof log to
     each verdict (see :mod:`repro.obs.explain`).
+
+    ``parallel=N`` checks implementations on ``N`` supervised worker
+    processes, ``cache_dir`` enables the crash-safe incremental result
+    cache, ``job_timeout`` is the hard per-job wall-clock bound, and
+    ``max_retries`` the retry budget after worker deaths — see
+    :mod:`repro.parallel` and :func:`repro.vcgen.checker.check_scope`.
     """
     with _maybe_tracing(tracer):
-        return check_scope(parse_program(source), limits, explain=explain)
+        return check_scope(
+            parse_program(source),
+            limits,
+            explain=explain,
+            parallel=parallel,
+            cache_dir=cache_dir,
+            job_timeout=job_timeout,
+            max_retries=max_retries,
+        )
 
 
 def check_program_resilient(
@@ -116,6 +134,10 @@ def check_program_resilient(
     filename: Optional[str] = None,
     tracer=None,
     explain: bool = False,
+    parallel: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    job_timeout: Optional[float] = None,
+    max_retries: int = 2,
 ) -> CheckReport:
     """Parse, validate, and verify; never raises.
 
@@ -128,10 +150,20 @@ def check_program_resilient(
     ``tracer`` installs a :class:`repro.obs.Tracer` for the call (see
     :func:`check_program`); spans still close on every failure path, so
     traces of crashing runs are complete.
+
+    The supervision knobs (``parallel``/``cache_dir``/``job_timeout``/
+    ``max_retries``) behave as in :func:`check_program`.
     """
     with _maybe_tracing(tracer):
         return _check_program_resilient(
-            source, limits, filename=filename, explain=explain
+            source,
+            limits,
+            filename=filename,
+            explain=explain,
+            parallel=parallel,
+            cache_dir=cache_dir,
+            job_timeout=job_timeout,
+            max_retries=max_retries,
         )
 
 
@@ -141,6 +173,10 @@ def _check_program_resilient(
     *,
     filename: Optional[str],
     explain: bool = False,
+    parallel: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    job_timeout: Optional[float] = None,
+    max_retries: int = 2,
 ) -> CheckReport:
     report = CheckReport()
     try:
@@ -159,7 +195,15 @@ def _check_program_resilient(
         return report
     report.diagnostics.extend(diagnostics)
     try:
-        inner = check_scope(scope, limits, explain=explain)
+        inner = check_scope(
+            scope,
+            limits,
+            explain=explain,
+            parallel=parallel,
+            cache_dir=cache_dir,
+            job_timeout=job_timeout,
+            max_retries=max_retries,
+        )
     except ReproError as exc:
         from repro.analysis.diagnostics import diagnostic_from_error
 

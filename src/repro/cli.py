@@ -21,6 +21,12 @@ deadline pressure). See README "Observability".
 text|json``, ``--explain-out FILE``): blame reports for failed proofs,
 replay-validated proof logs for verified ones. See README "Explaining
 failures".
+``-j N`` checks implementations on N supervised worker processes with a
+hard ``--job-timeout`` per proof (SIGKILL, OL901), worker-death retries
+up to ``--max-retries`` (then OL902 quarantine), and ``--cache-dir``
+enables the crash-safe incremental result cache (corrupted entries are
+rejected with OL903 and recomputed). See README "Parallel & incremental
+checking".
 Sources are parsed per file with panic-mode error recovery, so every
 diagnostic position names the file it points into and *all* syntax
 errors across all files are reported in one run (as ``OL001``/``OL002``
@@ -153,6 +159,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the explanations to FILE instead of stdout (implies "
         "--explain); written even when the run fails",
     )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="check implementations on N supervised worker processes "
+        "(process isolation: a crashed, hung, or OOM-killed proof costs "
+        "only its own verdict). Default: serial, in-process",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="reuse verdicts from (and publish new ones into) the "
+        "crash-safe incremental result cache at PATH; corrupted or "
+        "version-skewed entries are rejected with an OL903 warning and "
+        "recomputed. Bypassed under --explain",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        metavar="K",
+        default=2,
+        help="with -j: retries after a worker death before the job is "
+        "quarantined as INTERNAL_ERROR/OL902 (default: 2)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        metavar="S",
+        default=None,
+        help="with -j: hard wall-clock limit per proof job, in seconds — "
+        "the worker is SIGKILLed (no cooperative poll needed) and the "
+        "verdict is TIMED_OUT/OL901",
+    )
     return parser
 
 
@@ -246,10 +288,7 @@ def check_main(argv: Optional[List[str]] = None) -> int:
         # Exports happen on every exit path — a trace of a failing or
         # crashing run is exactly the one worth keeping (spans are
         # closed by the instrumentation's ``with`` blocks on unwind).
-        if tracer is not None:
-            _write_observability_outputs(args, tracer)
-        if args.explain:
-            _write_explanations(args, outcome["report"])
+        _write_exports(args, tracer, outcome)
 
 
 def _check_traced(args, sources, limits: Limits, tracer, outcome) -> int:
@@ -270,6 +309,10 @@ def _check_traced(args, sources, limits: Limits, tracer, outcome) -> int:
                 enforce_restrictions=not args.no_restrictions,
                 lint=not args.no_lint,
                 explain=args.explain,
+                parallel=args.jobs,
+                cache_dir=args.cache_dir,
+                job_timeout=args.job_timeout,
+                max_retries=args.max_retries,
             )
             outcome["report"] = report
         except ReproError as error:
@@ -302,10 +345,76 @@ def _check_traced(args, sources, limits: Limits, tracer, outcome) -> int:
     return 1 if failed else 0
 
 
-def _write_explanations(args, report) -> None:
-    """The ``--explain`` report, written on every exit path (like
-    ``--trace``): a run that crashed before any verdict still produces a
-    valid, empty report rather than none at all."""
+def _export(label: str, path: Optional[str], writer) -> None:
+    """Write one export file with the CLI's uniform error policy.
+
+    Every on-exit artifact (trace, metrics, explanations, cache summary)
+    goes through here: a missing path is a no-op, and an unwritable path
+    degrades to a stderr warning instead of masking the run's own exit
+    code — the single place that rule lives.
+    """
+    if not path:
+        return
+    try:
+        writer(path)
+    except OSError as error:
+        print(f"error: cannot write {label}: {error}", file=sys.stderr)
+
+
+def _write_text(path: str, text: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(text)
+        handle.write("\n")
+
+
+def _write_exports(args, tracer, outcome) -> None:
+    """Everything the CLI owes the filesystem, on *every* exit path.
+
+    Called from ``check_main``'s single ``finally`` so a crash, a
+    KeyboardInterrupt, or a clean failure all leave the same artifacts:
+    the Chrome trace, the metrics JSON, the explanation report (a run
+    that crashed before any verdict still produces a valid, empty
+    report), and the result-cache flush summary.
+    """
+    report = outcome.get("report")
+    if tracer is not None:
+        from repro.obs import write_chrome_trace, write_metrics
+
+        _export(
+            "trace", args.trace, lambda path: write_chrome_trace(path, tracer)
+        )
+        _export(
+            "metrics",
+            args.metrics,
+            lambda path: write_metrics(path, tracer.metrics),
+        )
+    if args.explain:
+        text = _render_explanations(args, report)
+        if args.explain_out:
+            _export(
+                "explanations",
+                args.explain_out,
+                lambda path: _write_text(path, text),
+            )
+        else:
+            print(text)
+    if args.cache_dir:
+        import json
+        import os
+
+        summary = (
+            report.cache_summary if report is not None else None
+        ) or {"directory": args.cache_dir, "note": "run ended before checking"}
+        _export(
+            "cache summary",
+            os.path.join(args.cache_dir, "summary.json"),
+            lambda path: _write_text(
+                path, json.dumps(summary, indent=2, sort_keys=True)
+            ),
+        )
+
+
+def _render_explanations(args, report) -> str:
     verdicts = report.verdicts if report is not None else []
     explanations = [
         verdict.explanation
@@ -322,34 +431,9 @@ def _write_explanations(args, report) -> None:
             "source": ", ".join(args.files),
             "explanations": [e.to_dict() for e in explanations],
         }
-        text = json.dumps(payload, indent=2, sort_keys=True)
-    else:
-        blocks = [e.render_text() for e in explanations]
-        text = "\n\n".join(blocks) if blocks else "(no explanations)"
-    if not args.explain_out:
-        print(text)
-        return
-    try:
-        with open(args.explain_out, "w") as handle:
-            handle.write(text)
-            handle.write("\n")
-    except OSError as error:
-        print(f"error: cannot write explanations: {error}", file=sys.stderr)
-
-
-def _write_observability_outputs(args, tracer) -> None:
-    from repro.obs import write_chrome_trace, write_metrics
-
-    if args.trace:
-        try:
-            write_chrome_trace(args.trace, tracer)
-        except OSError as error:
-            print(f"error: cannot write trace: {error}", file=sys.stderr)
-    if args.metrics:
-        try:
-            write_metrics(args.metrics, tracer.metrics)
-        except OSError as error:
-            print(f"error: cannot write metrics: {error}", file=sys.stderr)
+        return json.dumps(payload, indent=2, sort_keys=True)
+    blocks = [e.render_text() for e in explanations]
+    return "\n\n".join(blocks) if blocks else "(no explanations)"
 
 
 def lint_main(argv: Optional[List[str]] = None) -> int:

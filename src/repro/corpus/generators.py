@@ -90,6 +90,31 @@ def generate_benign_copies(copies: int) -> str:
     return "\n".join(lines)
 
 
+def generate_impl_farm(impls: int, fields: int = 6) -> str:
+    """A scope with ``impls`` independent implementations of comparable cost.
+
+    Scales the *number of jobs* a run produces: each impl writes every
+    field of the shared group, so per-impl proof cost is controlled by
+    ``fields`` while the job count is controlled by ``impls``. This is
+    the parallel-checking workload — scope monotonicity makes each impl
+    an independent unit of work, so an impl farm is what a supervisor
+    with N workers can actually spread out.
+    """
+    lines: List[str] = ["group data"]
+    for index in range(fields):
+        lines.append(f"field f{index} in data")
+    for index in range(impls):
+        lines.append(f"proc job{index}(t) modifies t.data")
+    for index in range(impls):
+        body = " ;\n  ".join(
+            f"t.f{field} := {index + field}" for field in range(fields)
+        )
+        lines.append(
+            f"impl job{index}(t) {{\n  assume t != null ;\n  {body}\n}}"
+        )
+    return "\n".join(lines)
+
+
 def generate_call_chain(length: int) -> str:
     """A chain of procedures p0 -> p1 -> ... each with the same licence.
 

@@ -89,6 +89,29 @@ class MetricsRegistry:
                 "prover.instantiations.by_quantifier", quantifier, count
             )
 
+    def merge_dict(self, exported: dict) -> None:
+        """Fold another registry's :meth:`to_dict` rendering into this one.
+
+        Used by the parallel supervisor: workers run the instrumented
+        pipeline under their own registry and ship ``to_dict()`` home,
+        where counters add up, labels add up per key, and timers combine
+        count/total/max (means are recomputed on export). Rounding in
+        ``to_dict`` loses sub-microsecond precision; that is fine for
+        aggregate timers.
+        """
+        for name, value in exported.get("counters", {}).items():
+            self.inc(name, value)
+        for name, bucket in exported.get("labelled", {}).items():
+            for label, value in bucket.items():
+                self.inc_labelled(name, label, value)
+        for name, data in exported.get("timers", {}).items():
+            timer = self.timers.get(name)
+            if timer is None:
+                timer = self.timers[name] = TimerStat()
+            timer.count += data.get("count", 0)
+            timer.total += data.get("total_seconds", 0.0)
+            timer.max = max(timer.max, data.get("max_seconds", 0.0))
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------

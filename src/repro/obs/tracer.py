@@ -150,6 +150,102 @@ class Tracer:
                 span.end = now
                 span.error = span.error or "span left open at tracer close"
 
+    def current_index(self) -> Optional[int]:
+        """Index of the innermost open span (parent for out-of-band
+        recording), or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def record(
+        self,
+        name: str,
+        category: str,
+        start: float,
+        end: float,
+        *,
+        parent: Optional[int] = None,
+        args: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> int:
+        """Append an already-closed span (out-of-band recording).
+
+        Used by the parallel supervisor to stamp per-job intervals it
+        measured itself (assignment → result) rather than lived through
+        a ``with`` block. Returns the new span's index so child spans
+        (e.g. absorbed worker spans) can attach to it.
+        """
+        depth = self.spans[parent].depth + 1 if parent is not None else 0
+        span = Span(
+            name=name,
+            category=category,
+            start=start,
+            end=end,
+            parent=parent,
+            depth=depth,
+            args=dict(args or {}),
+            error=error,
+        )
+        index = len(self.spans)
+        self.spans.append(span)
+        return index
+
+    def export_spans(self) -> List[dict]:
+        """The recorded spans as plain dicts, ready to cross a process
+        boundary (closing any still-open spans first).
+
+        Times stay in this process's ``perf_counter`` domain — on the
+        platforms the supervisor runs workers on, ``perf_counter`` is
+        the system-wide monotonic clock, so spans exported by a worker
+        nest correctly inside the supervisor's own timeline.
+        """
+        self.close()
+        return [
+            {
+                "name": span.name,
+                "category": span.category,
+                "start": span.start,
+                "end": span.end,
+                "parent": span.parent,
+                "args": dict(span.args),
+                "error": span.error,
+            }
+            for span in self.spans
+        ]
+
+    def absorb(
+        self, exported: List[dict], *, parent: Optional[int] = None
+    ) -> None:
+        """Graft spans exported by another tracer under ``parent``.
+
+        Parent indices inside ``exported`` are remapped onto this
+        tracer's span list; top-level exported spans become children of
+        ``parent`` (or roots when None). Depths are recomputed so the
+        exporters' nesting invariants keep holding.
+        """
+        base_depth = (
+            self.spans[parent].depth + 1 if parent is not None else 0
+        )
+        remap: Dict[int, int] = {}
+        for old_index, data in enumerate(exported):
+            old_parent = data.get("parent")
+            if old_parent is not None and old_parent in remap:
+                new_parent = remap[old_parent]
+                depth = self.spans[new_parent].depth + 1
+            else:
+                new_parent = parent
+                depth = base_depth
+            span = Span(
+                name=data["name"],
+                category=data["category"],
+                start=data["start"],
+                end=data["end"],
+                parent=new_parent,
+                depth=depth,
+                args=dict(data.get("args", {})),
+                error=data.get("error"),
+            )
+            remap[old_index] = len(self.spans)
+            self.spans.append(span)
+
     def children_of(self, index: Optional[int]) -> List[int]:
         return [
             i for i, span in enumerate(self.spans) if span.parent == index

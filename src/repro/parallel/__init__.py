@@ -1,0 +1,55 @@
+"""``repro.parallel`` — supervised multi-process checking.
+
+The paper's modular-soundness result (scope monotonicity) makes every
+per-implementation verdict independent of the others; this package
+exploits that independence for throughput *and* robustness:
+
+* :mod:`repro.parallel.supervisor` — a :class:`WorkerSupervisor` that
+  schedules proof jobs onto process-isolated workers with hard per-job
+  timeouts (SIGKILL, not a cooperative poll), worker-death detection
+  (exit code, killing signal, lost heartbeat) with exponential-backoff
+  retries, quarantine after ``max_retries`` (``OL902``), prompt
+  scope-budget cancellation, and a deterministic declaration-order
+  merge;
+* :mod:`repro.parallel.worker` — the long-lived worker process: one
+  duplex pipe, a heartbeat thread, and the same per-implementation
+  crash isolation the serial driver uses;
+* :mod:`repro.parallel.cache` — a crash-safe incremental result cache:
+  verdicts keyed by a content hash of (implementation source, scope
+  interface, limits, code version), published with atomic
+  temp-file+rename and a per-entry checksum, so a ``kill -9`` loses at
+  most the in-flight jobs and corrupted or version-skewed entries are
+  rejected (``OL903``) and recomputed.
+
+Entry points: ``check_scope(parallel=N, cache_dir=...)``,
+``check_program*(parallel=N, cache_dir=...)``, and the CLI
+(``oolong-check -j N --cache-dir PATH --max-retries K --job-timeout S``).
+"""
+
+from repro.parallel.cache import (
+    CACHEABLE_STATUSES,
+    ResultCache,
+    cache_key,
+    code_version,
+)
+from repro.parallel.supervisor import (
+    ParallelOptions,
+    ParallelOutcome,
+    WorkerSupervisor,
+    run_parallel_checks,
+)
+from repro.parallel.worker import KILL_EXIT_CODE, JobRequest, JobResult
+
+__all__ = [
+    "CACHEABLE_STATUSES",
+    "JobRequest",
+    "JobResult",
+    "KILL_EXIT_CODE",
+    "ParallelOptions",
+    "ParallelOutcome",
+    "ResultCache",
+    "WorkerSupervisor",
+    "cache_key",
+    "code_version",
+    "run_parallel_checks",
+]

@@ -1,0 +1,335 @@
+"""Crash-safe incremental result cache for the modular checker.
+
+The paper's modular-soundness story makes per-implementation verdicts a
+function of (implementation body, scope interface, prover limits): scope
+monotonicity guarantees the verdict cannot depend on the *other*
+implementations in the scope. That makes verdicts cacheable by content
+hash — and a rerun after a crash (or an edit touching one procedure)
+only has to re-prove what actually changed.
+
+Durability discipline:
+
+* every entry is its own file, written to a temp name in the cache
+  directory and published with an atomic ``os.replace`` — a ``kill -9``
+  mid-run loses at most the entries still being written, never corrupts
+  a published one;
+* every entry carries a SHA-256 checksum of its payload plus the cache
+  format and code version; a corrupted, truncated, or version-skewed
+  entry is *rejected* (recorded on :attr:`ResultCache.rejections`, and
+  surfaced by the driver as an ``OL903`` warning) and recomputed —
+  never silently trusted;
+* only deterministic outcomes are cached (``VERIFIED``, ``NOT_PROVED``,
+  ``RESOURCE_OUT``). Worker deaths, crashes, and deadline timeouts are
+  transient by definition and always re-run.
+
+Explanations (:mod:`repro.obs.explain`) are not cached; the driver
+bypasses the cache when ``explain=True`` so explain runs always carry
+full blame reports and proof logs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro import __version__
+from repro.oolong.ast import ImplDecl
+from repro.oolong.pretty import pretty_decl
+from repro.prover.core import Limits
+
+if TYPE_CHECKING:
+    from repro.oolong.program import Scope
+    from repro.vcgen.checker import ImplVerdict
+
+#: Bump when the cached payload layout (or anything that invalidates old
+#: verdicts, e.g. the VC encoding) changes; old entries are then
+#: rejected as version-skewed and recomputed.
+CACHE_FORMAT = 1
+
+#: Statuses whose verdicts are deterministic re-runs of the same inputs.
+CACHEABLE_STATUSES = ("verified", "not proved", "resource limit exceeded")
+
+
+def code_version() -> str:
+    """The version stamp baked into every key and entry."""
+    return f"{__version__}+cache{CACHE_FORMAT}"
+
+
+def _limits_fingerprint(limits: Optional[Limits]) -> str:
+    """The limit fields that can change a per-implementation verdict.
+
+    Batch-level settings (``scope_time_budget``/``scope_deadline``) are
+    excluded on purpose: they decide *whether* a job runs, not what its
+    verdict is once it does.
+    """
+    effective = limits if limits is not None else Limits()
+    return json.dumps(
+        {
+            "time_budget": effective.time_budget,
+            "max_instances": effective.max_instances,
+            "max_rounds": effective.max_rounds,
+            "max_depth": effective.max_depth,
+            "max_branches": effective.max_branches,
+            "max_matches_per_round": effective.max_matches_per_round,
+            "max_instance_width": effective.max_instance_width,
+            "escalation_bonus": effective.escalation_bonus,
+        },
+        sort_keys=True,
+    )
+
+
+def cache_key(
+    scope: "Scope", impl: ImplDecl, index: int, limits: Optional[Limits]
+) -> str:
+    """Content hash of everything the implementation's verdict depends on.
+
+    The scope *interface* (group/field/proc declarations, in declaration
+    order — the background predicate is built from them in that order),
+    the pretty-printed implementation body, its index among same-name
+    implementations, the verdict-relevant limits, and the code version.
+    """
+    hasher = hashlib.sha256()
+    for decl in scope.decls:
+        if not isinstance(decl, ImplDecl):
+            hasher.update(pretty_decl(decl).encode())
+            hasher.update(b"\x00")
+    hasher.update(b"\x01")
+    hasher.update(pretty_decl(impl).encode())
+    hasher.update(f"\x02{index}\x02".encode())
+    hasher.update(_limits_fingerprint(limits).encode())
+    hasher.update(f"\x03{code_version()}".encode())
+    return hasher.hexdigest()
+
+
+def _checksum(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def verdict_to_payload(verdict: "ImplVerdict") -> Optional[dict]:
+    """The cacheable projection of a verdict, or None if not cacheable."""
+    if verdict.status.value not in CACHEABLE_STATUSES:
+        return None
+    failed = verdict.failed_obligation
+    return {
+        "status": verdict.status.value,
+        "stats": verdict.stats.to_dict(),
+        "failed_obligation": (
+            _obligation_to_dict(failed) if failed is not None else None
+        ),
+    }
+
+
+def _obligation_to_dict(obligation) -> dict:
+    position = obligation.position
+    return {
+        "ident": obligation.ident,
+        "kind": obligation.kind,
+        "description": obligation.description,
+        "position": (
+            {
+                "line": position.line,
+                "column": position.column,
+                "file": position.file,
+            }
+            if position is not None
+            else None
+        ),
+        "target": obligation.target,
+        "attr": obligation.attr,
+        "modifies": list(obligation.modifies),
+        "callee": obligation.callee,
+        "arg_index": obligation.arg_index,
+    }
+
+
+def _obligation_from_dict(data: dict):
+    from repro.errors import SourcePosition
+    from repro.vcgen.wlp import ObligationInfo
+
+    position = data.get("position")
+    return ObligationInfo(
+        ident=data["ident"],
+        kind=data["kind"],
+        description=data["description"],
+        position=(
+            SourcePosition(
+                line=position["line"],
+                column=position["column"],
+                file=position.get("file"),
+            )
+            if position is not None
+            else None
+        ),
+        target=data.get("target"),
+        attr=data.get("attr"),
+        modifies=tuple(data.get("modifies", ())),
+        callee=data.get("callee"),
+        arg_index=data.get("arg_index"),
+    )
+
+
+def _stats_from_dict(data: dict):
+    from repro.prover.core import ProverStats
+
+    return ProverStats(
+        instantiations=data.get("instantiations", 0),
+        rounds=data.get("rounds", 0),
+        branches=data.get("branches", 0),
+        conflicts=data.get("conflicts", 0),
+        max_depth=data.get("max_depth", 0),
+        unmatchable_quantifiers=data.get("unmatchable_quantifiers", 0),
+        per_quantifier=dict(data.get("per_quantifier", {})),
+        elapsed=data.get("elapsed", 0.0),
+        sat_markers=list(data.get("sat_markers", [])),
+        facts=data.get("facts", 0),
+        merges=data.get("merges", 0),
+        matches=data.get("matches", 0),
+        matches_by_quantifier=dict(data.get("matches_by_quantifier", {})),
+    )
+
+
+def payload_to_verdict(payload: dict, impl: ImplDecl, index: int):
+    """Rehydrate a cached payload into an :class:`ImplVerdict`."""
+    from repro.vcgen.checker import ImplStatus, ImplVerdict
+
+    status = next(
+        s for s in ImplStatus if s.value == payload["status"]
+    )
+    failed = payload.get("failed_obligation")
+    return ImplVerdict(
+        impl=impl,
+        index=index,
+        status=status,
+        stats=_stats_from_dict(payload.get("stats", {})),
+        failed_obligation=(
+            _obligation_from_dict(failed) if failed is not None else None
+        ),
+    )
+
+
+@dataclass
+class ResultCache:
+    """A directory of checksummed per-verdict entries.
+
+    ``hits``/``misses``/``stores`` count this process's traffic;
+    ``rejections`` records every entry that failed validation as
+    ``(key, reason)`` pairs — the driver turns them into ``OL903``
+    warnings so a flaky disk never silently flips a verdict.
+    """
+
+    directory: str
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    rejections: List[Tuple[str, str]] = field(default_factory=list)
+
+    def __post_init__(self):
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def load(self, key: str) -> Optional[dict]:
+        """The validated payload for ``key``, or None (miss/rejected)."""
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError) as error:
+            self._reject(key, f"unreadable entry: {error}")
+            return None
+        payload = entry.get("payload") if isinstance(entry, dict) else None
+        if not isinstance(payload, dict):
+            self._reject(key, "malformed entry: no payload object")
+            return None
+        if entry.get("checksum") != _checksum(payload):
+            self._reject(key, "checksum mismatch (corrupted entry)")
+            return None
+        if payload.get("code_version") != code_version():
+            self._reject(
+                key,
+                f"version skew: entry {payload.get('code_version')!r} "
+                f"vs current {code_version()!r}",
+            )
+            return None
+        if payload.get("key") != key:
+            self._reject(key, "key mismatch (entry written for another job)")
+            return None
+        verdict = payload.get("verdict")
+        if (
+            not isinstance(verdict, dict)
+            or verdict.get("status") not in CACHEABLE_STATUSES
+        ):
+            self._reject(key, "malformed entry: bad verdict")
+            return None
+        self.hits += 1
+        return verdict
+
+    def _reject(self, key: str, reason: str) -> None:
+        self.misses += 1
+        self.rejections.append((key, reason))
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def store(self, key: str, verdict_payload: dict, *, impl: str, index: int) -> bool:
+        """Atomically publish one verdict; False if the write failed.
+
+        Write failures are deliberately non-fatal (the run still has its
+        in-memory verdict); they are recorded as rejections so the CLI
+        can warn about a read-only or full cache directory.
+        """
+        payload = {
+            "format": CACHE_FORMAT,
+            "code_version": code_version(),
+            "key": key,
+            "impl": impl,
+            "index": index,
+            "verdict": verdict_payload,
+        }
+        entry = {"checksum": _checksum(payload), "payload": payload}
+        try:
+            fd, temp_path = tempfile.mkstemp(
+                prefix=f".{key[:16]}-", suffix=".tmp", dir=self.directory
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(entry, handle)
+                os.replace(temp_path, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError as error:
+            self.rejections.append((key, f"cache write failed: {error}"))
+            return False
+        self.stores += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def summary(self) -> dict:
+        return {
+            "directory": self.directory,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "rejections": len(self.rejections),
+        }

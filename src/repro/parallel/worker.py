@@ -1,0 +1,224 @@
+"""The process-isolated proof worker.
+
+A worker is a long-lived child process owning one end of a duplex pipe.
+It receives :class:`JobRequest` messages, proves the named
+implementation with the same per-implementation isolation the serial
+driver uses (:func:`repro.vcgen.checker._check_impl`), and sends a
+:class:`JobResult` back. Everything observable rides along: the
+verdict, the advisory explain-crash diagnostic, the worker's span tree
+(re-rooted under the supervisor's job span at merge time), and its
+metrics registry.
+
+Liveness is reported out-of-band: a daemon thread stamps the current
+monotonic time into a shared double at a fixed interval. The supervisor
+reads the stamp to distinguish a worker that is *busy* (heartbeat fresh,
+job slow → enforce the job timeout) from one that is *gone* (heartbeat
+stale → treat as worker death and retry the job elsewhere).
+
+Injected faults (``worker-kill``/``worker-hang``) arrive as part of the
+job request — decided by the supervisor from the active
+:class:`repro.testing.faults.FaultPlan`, so fault placement is keyed by
+deterministic job index, never by which worker happened to pick the job
+up. ``kill`` exits the process hard (``os._exit``, modelling SIGKILL by
+the OOM killer); ``hang`` stops the heartbeat thread *and* never
+returns, modelling a frozen interpreter that no cooperative deadline
+can observe.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.prover.core import Limits
+
+#: Exit code used by the ``worker-kill`` injected fault (distinguishable
+#: from genuine crashes in tests and logs).
+KILL_EXIT_CODE = 113
+
+#: Seconds between heartbeat stamps written by the worker's beat thread.
+HEARTBEAT_INTERVAL = 0.05
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One per-implementation proof job, as sent over the pipe."""
+
+    job_id: int
+    proc_name: str
+    #: Index among the implementations of ``proc_name`` (the serial
+    #: driver's ``enumerate`` index — part of the verdict's identity).
+    impl_index: int
+    attempt: int = 0
+    limits: Optional[Limits] = None
+    explain: bool = False
+    #: Supervisor-decided fault injection: None, "kill", or "hang".
+    inject: Optional[str] = None
+
+
+@dataclass
+class JobResult:
+    """What a worker sends back for one completed job."""
+
+    job_id: int
+    attempt: int
+    #: Pickled-through verdict (``ImplVerdict``); the supervisor swaps
+    #: in its own ``ImplDecl`` object on receipt so report identities
+    #: match the parent's scope exactly.
+    verdict: Any = None
+    #: Advisory OL900 warning when the explainer crashed (see
+    #: ``_check_impl``); the verdict itself survived.
+    explain_crash: Any = None
+    #: The worker-side span tree for this job (``Tracer.export_spans``).
+    spans: List[dict] = field(default_factory=list)
+    #: The worker-side metrics registry (``MetricsRegistry.to_dict``).
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Set when the job raised outside the verdict isolation layer
+    #: (should not happen; surfaces as INTERNAL_ERROR parent-side).
+    failure: Optional[str] = None
+
+
+def _beat(heartbeat, stop_event: threading.Event, supervisor_pid: int) -> None:
+    """Stamp liveness — and watch for an orphaned worker.
+
+    If the supervisor is SIGKILLed, its ``daemon=True`` cleanup never
+    runs (that is atexit machinery), and pipe EOF is not reliable either:
+    forked siblings inherit copies of the parent-side pipe ends, keeping
+    the write end open. The only robust orphan signal is the parent pid
+    changing (re-parented to init), so the beat thread doubles as the
+    orphan watchdog and hard-exits the process.
+    """
+    while not stop_event.is_set():
+        heartbeat.value = time.monotonic()
+        if os.getppid() != supervisor_pid:
+            os._exit(0)
+        stop_event.wait(HEARTBEAT_INTERVAL)
+
+
+def worker_main(
+    conn, heartbeat, scope, worker_id: int, supervisor_pid: Optional[int] = None
+) -> None:
+    """The worker process entry point.
+
+    ``scope`` is the already-desugared scope (inherited via fork, or
+    pickled once at spawn); every job only names an implementation
+    inside it. The loop exits on EOF, an explicit ``None`` sentinel, or
+    the death of the supervisor process (see :func:`_beat`).
+    ``supervisor_pid`` is recorded by the supervisor itself at spawn
+    time, so the orphan watchdog works even if the supervisor dies
+    before this process first runs.
+    """
+    # A forked child inherits the parent's ambient tracer and fault plan;
+    # both are parent-side concerns (spans are shipped explicitly, and
+    # supervisor faults are interpreted in the parent), so drop them.
+    from repro.obs import tracer as tracer_module
+    from repro.testing import faults as faults_module
+
+    tracer_module._ACTIVE = None
+    faults_module._ACTIVE = None
+
+    stop_event = threading.Event()
+    beat_thread = threading.Thread(
+        target=_beat,
+        args=(
+            heartbeat,
+            stop_event,
+            os.getppid() if supervisor_pid is None else supervisor_pid,
+        ),
+        daemon=True,
+    )
+    beat_thread.start()
+
+    try:
+        while True:
+            try:
+                request = conn.recv()
+            except (EOFError, OSError):
+                break
+            if request is None:
+                break
+            result = _run_job(scope, request, stop_event)
+            if result is None:
+                continue
+            try:
+                conn.send(result)
+            except (OSError, ValueError, TypeError) as error:
+                # The payload would not cross the pipe (e.g. an
+                # unpicklable object smuggled into an explanation).
+                # Degrade: resend without the rich attachments.
+                fallback = JobResult(
+                    job_id=request.job_id,
+                    attempt=request.attempt,
+                    failure=(
+                        "result not transportable: "
+                        f"{type(error).__name__}: {error}"
+                    ),
+                )
+                try:
+                    conn.send(fallback)
+                except (OSError, ValueError):
+                    break
+    finally:
+        stop_event.set()
+
+
+def _run_job(scope, request: JobRequest, stop_event) -> Optional[JobResult]:
+    from repro.obs import Tracer, tracing
+    from repro.vcgen.checker import _check_impl
+
+    if request.inject == "kill":
+        os._exit(KILL_EXIT_CODE)
+    if request.inject == "hang":
+        # An uncooperative freeze: the heartbeat stops and the job never
+        # completes. The supervisor must notice via the stale heartbeat
+        # (or the hard job timeout) and SIGKILL this process.
+        stop_event.set()
+        while True:
+            time.sleep(3600)
+
+    impls = scope.impls_of(request.proc_name)
+    if request.impl_index >= len(impls):
+        return JobResult(
+            job_id=request.job_id,
+            attempt=request.attempt,
+            failure=(
+                f"no implementation {request.proc_name!r}"
+                f"#{request.impl_index} in worker scope"
+            ),
+        )
+    impl = impls[request.impl_index]
+
+    tracer = Tracer()
+    try:
+        with tracing(tracer):
+            verdict, explain_crash = _check_impl(
+                scope,
+                impl,
+                request.impl_index,
+                request.limits,
+                None,  # the scope deadline is enforced by the supervisor
+                request.explain,
+            )
+        return JobResult(
+            job_id=request.job_id,
+            attempt=request.attempt,
+            verdict=verdict,
+            explain_crash=explain_crash,
+            spans=tracer.export_spans(),
+            metrics=tracer.metrics.to_dict(),
+        )
+    except Exception as error:  # pragma: no cover — _check_impl isolates
+        import traceback
+
+        return JobResult(
+            job_id=request.job_id,
+            attempt=request.attempt,
+            failure="".join(
+                traceback.format_exception(
+                    type(error), error, error.__traceback__
+                )
+            ),
+        )

@@ -52,6 +52,32 @@ from repro.obs.stages import STAGES
 #: Every fault action a plan may request.
 ACTIONS: Tuple[str, ...] = ("raise", "delay", "corrupt")
 
+#: Fault kinds interpreted by the *parallel supervisor*
+#: (:mod:`repro.parallel.supervisor`) rather than by an in-process
+#: ``fault_point`` call. For these the ``hit`` index is the **job
+#: index** (the deterministic scheduling order of per-implementation
+#: proof jobs), not a per-stage call counter — so a plan names "kill the
+#: worker running job #2" independently of how jobs land on workers:
+#:
+#: * ``worker-kill`` — the worker assigned the job dies with
+#:   ``os._exit`` before proving (first attempt only, so retries can be
+#:   observed to succeed);
+#: * ``worker-hang`` — the worker freezes *uncooperatively*: its
+#:   heartbeat thread stops and the job never returns (first attempt
+#:   only), exercising lost-heartbeat detection and the hard kill;
+#: * ``cache-corrupt`` — the result-cache entry published for the job is
+#:   overwritten with garbage bytes after the store, exercising checksum
+#:   rejection on the next run.
+#:
+#: They are kept out of :data:`STAGES` so existing seeded fuzz plans are
+#: unchanged; sweep them explicitly via ``FaultPlan.fuzz(seed,
+#: stages=SUPERVISOR_STAGES)``.
+SUPERVISOR_STAGES: Tuple[str, ...] = (
+    "worker-kill",
+    "worker-hang",
+    "cache-corrupt",
+)
+
 
 class FaultError(RuntimeError):
     """The exception injected by ``raise`` faults (and raised by poison
@@ -96,8 +122,11 @@ class Fault:
     delay: float = 0.0
 
     def __post_init__(self):
-        if self.stage not in STAGES:
-            raise ValueError(f"unknown stage {self.stage!r}; known: {STAGES}")
+        if self.stage not in STAGES and self.stage not in SUPERVISOR_STAGES:
+            raise ValueError(
+                f"unknown stage {self.stage!r}; known: "
+                f"{STAGES + SUPERVISOR_STAGES}"
+            )
         if self.action not in ACTIONS:
             raise ValueError(f"unknown action {self.action!r}; known: {ACTIONS}")
         if self.hit < 0:
@@ -197,6 +226,36 @@ def fault_point(stage: str, value=None):
     if injector is None:
         return value
     return injector.on_hit(stage, value)
+
+
+def supervisor_fault_hits(stage: str) -> Dict[int, Fault]:
+    """The active plan's faults at a supervisor stage, keyed by job index.
+
+    Used by :mod:`repro.parallel.supervisor`: worker/cache faults are
+    interpreted *in the supervisor*, not at an in-process
+    :func:`fault_point`, because the action (SIGKILL a child, corrupt a
+    cache file) spans process boundaries. Returns an empty mapping when
+    no plan is active or the stage has no faults planned.
+    """
+    injector = _ACTIVE
+    if injector is None:
+        return {}
+    return {
+        fault.hit: fault
+        for fault in injector.plan.faults
+        if fault.stage == stage
+    }
+
+
+def record_supervisor_fault(stage: str, hit: int, action: str) -> None:
+    """Log a supervisor-interpreted fault as fired (for test inspection).
+
+    Mirrors what :meth:`Injector.on_hit` does for in-process faults, so
+    ``injector.fired`` reflects supervisor faults too.
+    """
+    injector = _ACTIVE
+    if injector is not None:
+        injector.fired.append((stage, hit, action))
 
 
 @contextmanager

@@ -110,6 +110,11 @@ class CheckReport:
     diagnostics: List[Diagnostic] = field(default_factory=list)
     fatal: List[Diagnostic] = field(default_factory=list)
     elapsed: float = 0.0
+    #: Result-cache traffic for this run (hits/misses/stores/rejections),
+    #: set when ``cache_dir`` was given. Deliberately *not* part of
+    #: ``to_dict``: the report stays byte-identical across cache states
+    #: and serial/parallel backends; the CLI exports it separately.
+    cache_summary: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -316,6 +321,10 @@ def check_scope(
     enforce_restrictions: bool = True,
     lint: bool = True,
     explain: bool = False,
+    parallel: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    job_timeout: Optional[float] = None,
+    max_retries: int = 2,
 ) -> CheckReport:
     """Check every implementation in ``scope``.
 
@@ -323,6 +332,24 @@ def check_scope(
     verdicts carry a source-anchored blame report built from the
     refuting branch's countermodel, verified ones a replayable proof
     log (:mod:`repro.obs.explain`). The default path pays nothing.
+
+    ``parallel=N`` proves implementations on ``N`` supervised worker
+    processes (:mod:`repro.parallel`): each job gets a **hard**
+    wall-clock timeout (``job_timeout`` — the worker is SIGKILLed and
+    the verdict is ``TIMED_OUT``/``OL901``), a dead worker's job is
+    retried with exponential backoff up to ``max_retries`` times before
+    being quarantined as ``INTERNAL_ERROR``/``OL902``, and results merge
+    in declaration order — the report is byte-identical to a serial run
+    modulo wall-clock fields. ``parallel=None`` (default) checks
+    serially in-process.
+
+    ``cache_dir`` enables the crash-safe incremental result cache
+    (:mod:`repro.parallel.cache`): deterministic verdicts are keyed by a
+    content hash of (implementation source, scope interface, limits,
+    code version) and reused across runs; corrupted or version-skewed
+    entries are rejected with an ``OL903`` warning and recomputed. The
+    cache works in both serial and parallel mode and is bypassed under
+    ``explain=True`` (explanations are not cached).
 
     ``enforce_restrictions=False`` disables the pivot-uniqueness pass (used
     by the baseline experiments that demonstrate why the restriction is
@@ -356,6 +383,10 @@ def check_scope(
             enforce_restrictions=enforce_restrictions,
             lint=lint,
             explain=explain,
+            parallel=parallel,
+            cache_dir=cache_dir,
+            job_timeout=job_timeout,
+            max_retries=max_retries,
         )
 
 
@@ -366,6 +397,10 @@ def _check_scope_traced(
     enforce_restrictions: bool,
     lint: bool,
     explain: bool = False,
+    parallel: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    job_timeout: Optional[float] = None,
+    max_retries: int = 2,
 ) -> CheckReport:
     from repro import obs
 
@@ -429,18 +464,140 @@ def _check_scope_traced(
                     "pivot restriction pass", exc, severity=Severity.WARNING
                 )
             )
+    cache = None
+    if cache_dir is not None and not explain:
+        from repro.parallel.cache import ResultCache
+
+        # Explain runs bypass the cache: explanations are never cached,
+        # so a hit would silently drop the requested blame report.
+        cache = ResultCache(cache_dir)
+
+    if parallel is not None:
+        _check_impls_parallel(
+            scope,
+            limits,
+            deadline,
+            report,
+            parallel=parallel,
+            cache=cache,
+            job_timeout=job_timeout,
+            max_retries=max_retries,
+            explain=explain,
+        )
+    else:
+        _check_impls_serial(
+            scope, limits, deadline, report, cache=cache, explain=explain
+        )
+    if cache is not None:
+        report.diagnostics.extend(_cache_rejection_diagnostics(cache))
+        report.cache_summary = cache.summary()
+    report.elapsed = time.monotonic() - start
+    return report
+
+
+def _record_verdict_metrics(verdict: ImplVerdict, *, cache_hit: bool) -> None:
+    from repro import obs
+
+    registry = obs.metrics()
+    if registry is None:
+        return
+    if cache_hit:
+        # The cached stats describe work a *previous* run did; record
+        # only the hit, not phantom prover effort.
+        registry.inc("checker.cache_hits")
+    else:
+        registry.record_prover_stats(verdict.stats)
+    registry.inc("checker.impls")
+    registry.inc(f"checker.status.{verdict.status.name.lower()}")
+
+
+def _check_impls_serial(
+    scope: Scope,
+    limits: Optional[Limits],
+    deadline: Optional[float],
+    report: CheckReport,
+    *,
+    cache,
+    explain: bool,
+) -> None:
+    if cache is not None:
+        from repro.parallel.cache import (
+            cache_key,
+            payload_to_verdict,
+            verdict_to_payload,
+        )
+
     for impls in scope.impls.values():
         for index, impl in enumerate(impls):
+            key = None
+            if cache is not None:
+                key = cache_key(scope, impl, index, limits)
+                payload = cache.load(key)
+                if payload is not None:
+                    verdict = payload_to_verdict(payload, impl, index)
+                    _record_verdict_metrics(verdict, cache_hit=True)
+                    report.verdicts.append(verdict)
+                    continue
             verdict, explain_crash = _check_impl(
                 scope, impl, index, limits, deadline, explain
             )
+            if key is not None:
+                payload = verdict_to_payload(verdict)
+                if payload is not None:
+                    cache.store(key, payload, impl=impl.name, index=index)
             if explain_crash is not None:
                 report.diagnostics.append(explain_crash)
-            registry = obs.metrics()
-            if registry is not None:
-                registry.record_prover_stats(verdict.stats)
-                registry.inc("checker.impls")
-                registry.inc(f"checker.status.{verdict.status.name.lower()}")
+            _record_verdict_metrics(verdict, cache_hit=False)
             report.verdicts.append(verdict)
-    report.elapsed = time.monotonic() - start
-    return report
+
+
+def _check_impls_parallel(
+    scope: Scope,
+    limits: Optional[Limits],
+    deadline: Optional[float],
+    report: CheckReport,
+    *,
+    parallel: int,
+    cache,
+    job_timeout: Optional[float],
+    max_retries: int,
+    explain: bool,
+) -> None:
+    from repro.parallel.supervisor import ParallelOptions, run_parallel_checks
+
+    options = ParallelOptions(
+        jobs=max(1, int(parallel)),
+        job_timeout=job_timeout,
+        max_retries=max_retries,
+    )
+    outcome = run_parallel_checks(
+        scope,
+        limits,
+        options=options,
+        explain=explain,
+        cache=cache,
+        scope_deadline=deadline,
+    )
+    # Merge in job (declaration) order, independent of completion order.
+    for job in outcome.jobs:
+        if job.explain_crash is not None:
+            report.diagnostics.append(job.explain_crash)
+        _record_verdict_metrics(job.verdict, cache_hit=job.cache_hit)
+        report.verdicts.append(job.verdict)
+
+
+def _cache_rejection_diagnostics(cache) -> List[Diagnostic]:
+    """One ``OL903`` warning per rejected cache entry — rejected entries
+    are recomputed, never trusted, but the user should know their cache
+    is rotting (disk fault, version skew, concurrent writer)."""
+    return [
+        Diagnostic(
+            code="OL903",
+            message=(
+                f"cache entry {key[:12]}… rejected ({reason}); "
+                "verdict recomputed"
+            ),
+            severity=Severity.WARNING,
+        )
+        for key, reason in cache.rejections
+    ]
