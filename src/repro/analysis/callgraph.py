@@ -59,15 +59,19 @@ class CallGraph:
             worklist.extend(self.edges.get(current, ()))
         return frozenset(seen)
 
-    def cycles(self) -> List[Tuple[str, ...]]:
-        """Strongly connected components that can recurse: every SCC of
-        size > 1, plus self-loops. Deterministic order."""
+    def sccs(self) -> List[Tuple[str, ...]]:
+        """Every strongly connected component (singletons included), in
+        condensation order: callees before callers. Tarjan pops a
+        component only after all components reachable from it, so the
+        emission order is a reverse topological sort of the condensed
+        graph — the evaluation order an interprocedural fixpoint wants.
+        Deterministic."""
         index: Dict[str, int] = {}
         lowlink: Dict[str, int] = {}
         on_stack: Set[str] = set()
         stack: List[str] = []
         counter = [0]
-        sccs: List[Tuple[str, ...]] = []
+        components: List[Tuple[str, ...]] = []
 
         def strongconnect(node: str) -> None:
             index[node] = lowlink[node] = counter[0]
@@ -90,13 +94,25 @@ class CallGraph:
                     component.append(member)
                     if member == node:
                         break
-                if len(component) > 1 or node in self.edges.get(node, ()):
-                    sccs.append(tuple(sorted(component)))
+                components.append(tuple(sorted(component)))
 
         for node in sorted(self.edges):
             if node not in index:
                 strongconnect(node)
-        return sorted(sccs)
+        return components
+
+    def is_recursive(self, component: Tuple[str, ...]) -> bool:
+        """May the procedures of ``component`` recurse — size > 1, or a
+        singleton with a self-loop?"""
+        if len(component) > 1:
+            return True
+        node = component[0]
+        return node in self.edges.get(node, ())
+
+    def cycles(self) -> List[Tuple[str, ...]]:
+        """Strongly connected components that can recurse: every SCC of
+        size > 1, plus self-loops. Deterministic order."""
+        return sorted(c for c in self.sccs() if self.is_recursive(c))
 
 
 def check_recursion(scope: Scope) -> List[Diagnostic]:

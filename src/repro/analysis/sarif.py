@@ -1,0 +1,152 @@
+"""SARIF v2.1.0 rendering of OLxxx findings.
+
+One static-analysis interchange document per run, alongside the existing
+text and JSON renderers: ``runs[0].tool.driver`` lists every registered
+code as a reporting rule and each :class:`~repro.analysis.diagnostics.
+Diagnostic` becomes a result with a ``ruleId``, a mapped ``level``
+(``error``/``warning``/``note``), a message, and a physical location
+when the finding carries a source position. Secondary notes ride along
+as ``relatedLocations`` so inclusion-chain blame survives the export.
+
+Verification verdicts are exported through the same channel: a failed
+implementation becomes an ``OL310`` result (or rides its own diagnostic,
+e.g. OL401/OL900, when one already names the failure).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional, Sequence
+
+from repro import __version__
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    Severity,
+    sorted_diagnostics,
+)
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rules() -> List[dict]:
+    rules = []
+    for code, (severity, title) in sorted(CODES.items()):
+        rules.append(
+            {
+                "id": code,
+                "name": code,
+                "shortDescription": {"text": title},
+                "defaultConfiguration": {"level": _LEVELS[severity]},
+            }
+        )
+    return rules
+
+
+def _location(position, message: Optional[str] = None) -> Optional[dict]:
+    if position is None:
+        return None
+    physical = {
+        "region": {
+            "startLine": position.line,
+            "startColumn": position.column,
+        }
+    }
+    if position.file is not None:
+        physical["artifactLocation"] = {"uri": position.file}
+    location: dict = {"physicalLocation": physical}
+    if message is not None:
+        location["message"] = {"text": message}
+    return location
+
+
+def _result(diag: Diagnostic) -> dict:
+    message = diag.message
+    if diag.impl is not None:
+        message = f"impl {diag.impl}: {message}"
+    result: dict = {
+        "ruleId": diag.code,
+        "level": _LEVELS[diag.severity],
+        "message": {"text": message},
+    }
+    location = _location(diag.position)
+    if location is not None:
+        result["locations"] = [location]
+    related = []
+    for note in diag.notes:
+        related.append(
+            _location(note.position, note.message)
+            or {"message": {"text": note.message}}
+        )
+    if related:
+        result["relatedLocations"] = related
+    return result
+
+
+def sarif_log(diagnostics: Iterable[Diagnostic]) -> dict:
+    """The complete SARIF document for ``diagnostics``, as a dict."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "oolong-check",
+                        "informationUri": (
+                            "https://github.com/oolong-repro/oolong"
+                        ),
+                        "version": __version__,
+                        "rules": _rules(),
+                    }
+                },
+                "results": [
+                    _result(diag)
+                    for diag in sorted_diagnostics(diagnostics)
+                ],
+            }
+        ],
+    }
+
+
+def render_sarif(diagnostics: Iterable[Diagnostic]) -> str:
+    """Render diagnostics as a SARIF v2.1.0 JSON document."""
+    return json.dumps(sarif_log(diagnostics), indent=2, sort_keys=True)
+
+
+def report_diagnostics(report) -> List[Diagnostic]:
+    """Every finding of a :class:`~repro.vcgen.checker.CheckReport` as
+    diagnostics: the report's own, plus one OL310 per failed verdict
+    that no diagnostic already names."""
+    diagnostics = list(report.diagnostics)
+    for verdict in report.verdicts:
+        if verdict.status.value == "verified":
+            continue
+        if any(d.impl == verdict.impl.name for d in report.diagnostics):
+            continue
+        failed = verdict.failed_obligation
+        detail = f": {failed.description}" if failed is not None else ""
+        diagnostics.append(
+            Diagnostic(
+                code="OL310",
+                message=f"{verdict.status.value}{detail}",
+                position=getattr(verdict.impl, "position", None),
+                impl=verdict.impl.name,
+            )
+        )
+    return diagnostics
+
+
+def render_report_sarif(report) -> str:
+    """Render a whole check report (diagnostics + verdicts) as SARIF."""
+    return render_sarif(report_diagnostics(report))

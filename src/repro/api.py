@@ -98,6 +98,8 @@ def check_program(
     cache_dir: Optional[str] = None,
     job_timeout: Optional[float] = None,
     max_retries: int = 2,
+    static_discharge: str = "off",
+    check_discharge: bool = False,
 ) -> CheckReport:
     """Parse, validate, and verify an oolong program text.
 
@@ -114,6 +116,11 @@ def check_program(
     cache, ``job_timeout`` is the hard per-job wall-clock bound, and
     ``max_retries`` the retry budget after worker deaths — see
     :mod:`repro.parallel` and :func:`repro.vcgen.checker.check_scope`.
+
+    ``static_discharge``/``check_discharge`` control the interprocedural
+    effect analyzer that discharges frame obligations before the prover —
+    see :mod:`repro.analysis.effects` and
+    :func:`repro.vcgen.checker.check_scope`.
     """
     with _maybe_tracing(tracer):
         return check_scope(
@@ -124,6 +131,8 @@ def check_program(
             cache_dir=cache_dir,
             job_timeout=job_timeout,
             max_retries=max_retries,
+            static_discharge=static_discharge,
+            check_discharge=check_discharge,
         )
 
 
@@ -138,6 +147,8 @@ def check_program_resilient(
     cache_dir: Optional[str] = None,
     job_timeout: Optional[float] = None,
     max_retries: int = 2,
+    static_discharge: str = "off",
+    check_discharge: bool = False,
 ) -> CheckReport:
     """Parse, validate, and verify; never raises.
 
@@ -164,6 +175,8 @@ def check_program_resilient(
             cache_dir=cache_dir,
             job_timeout=job_timeout,
             max_retries=max_retries,
+            static_discharge=static_discharge,
+            check_discharge=check_discharge,
         )
 
 
@@ -177,6 +190,8 @@ def _check_program_resilient(
     cache_dir: Optional[str] = None,
     job_timeout: Optional[float] = None,
     max_retries: int = 2,
+    static_discharge: str = "off",
+    check_discharge: bool = False,
 ) -> CheckReport:
     report = CheckReport()
     try:
@@ -203,6 +218,8 @@ def _check_program_resilient(
             cache_dir=cache_dir,
             job_timeout=job_timeout,
             max_retries=max_retries,
+            static_discharge=static_discharge,
+            check_discharge=check_discharge,
         )
     except ReproError as exc:
         from repro.analysis.diagnostics import diagnostic_from_error

@@ -11,7 +11,13 @@ pass, the flow-sensitive pivot escape analysis, modifies-list inference,
 and the declaration/reachability lints. No prover is involved, so it is
 fast enough for editor integration.
 
-Both accept ``--format text|json`` and ``--fail-on error|warning``.
+Both accept ``--format text|json|sarif`` and ``--fail-on`` with either a
+severity (``error``, ``warning``) or a comma-separated list of OLxxx
+codes (unknown codes are rejected with the known-code list). Check mode
+adds ``--static-discharge on|off|strict`` (the interprocedural effect
+analyzer that discharges frame obligations before the prover) and
+``--check-discharge`` (the differential soundness guard; disagreements
+are OL402 errors).
 Check mode also carries the observability flags: ``--trace FILE``
 (Chrome trace-event JSON of the run, written on every exit path),
 ``--metrics FILE`` (machine-readable pipeline/prover metrics), and
@@ -53,20 +59,72 @@ from repro.prover.core import Limits
 from repro.vcgen.checker import check_scope
 
 
+def _parse_fail_on(value: str):
+    """``--fail-on`` semantics: a severity name, or a comma-separated
+    list of OLxxx codes (rule aliases accepted). Returns a
+    :class:`~repro.analysis.diagnostics.Severity` or a frozenset of
+    codes; unknown codes raise ``argparse.ArgumentTypeError`` — silently
+    matching nothing would turn the gate off."""
+    from repro.analysis.diagnostics import CODES, RULE_ALIASES, Severity
+
+    if value in ("error", "warning"):
+        return Severity.ERROR if value == "error" else Severity.WARNING
+    codes = []
+    for part in value.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        code = RULE_ALIASES.get(part, part)
+        if code not in CODES:
+            known = ", ".join(sorted(CODES))
+            raise argparse.ArgumentTypeError(
+                f"unknown diagnostic code {part!r}; expected 'error', "
+                f"'warning', or a comma-separated list of codes "
+                f"(known codes: {known})"
+            )
+        codes.append(code)
+    if not codes:
+        raise argparse.ArgumentTypeError(
+            "--fail-on needs a severity ('error', 'warning') or at least "
+            "one diagnostic code"
+        )
+    return frozenset(codes)
+
+
+def _fail_on_value(value: str) -> str:
+    """argparse ``type`` hook: validate eagerly (unknown codes abort the
+    parse with a clear message), keep the raw string on ``args``."""
+    _parse_fail_on(value)
+    return value
+
+
+def _fails_threshold(diagnostics, fail_on: str) -> bool:
+    """Does any diagnostic trip the ``--fail-on`` gate?"""
+    from repro.analysis.diagnostics import Severity, exceeds_threshold
+
+    threshold = _parse_fail_on(fail_on)
+    if isinstance(threshold, Severity):
+        return exceeds_threshold(diagnostics, threshold)
+    return any(diag.code in threshold for diag in diagnostics)
+
+
 def _add_shared_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("files", nargs="+", help="oolong source files")
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text); sarif emits a SARIF v2.1.0 "
+        "document with every OLxxx finding",
     )
     parser.add_argument(
         "--fail-on",
-        choices=("error", "warning"),
+        type=_fail_on_value,
         default="error",
-        help="lowest diagnostic severity that makes the exit code non-zero "
-        "(default: error)",
+        metavar="SEVERITY|CODES",
+        help="what makes the exit code non-zero: a lowest severity "
+        "('error', 'warning') or a comma-separated list of diagnostic "
+        "codes (e.g. 'OL401,OL302'); default: error",
     )
 
 
@@ -195,6 +253,24 @@ def build_parser() -> argparse.ArgumentParser:
         "the worker is SIGKILLed (no cooperative poll needed) and the "
         "verdict is TIMED_OUT/OL901",
     )
+    parser.add_argument(
+        "--static-discharge",
+        choices=("on", "off", "strict"),
+        default="off",
+        help="statically discharge frame obligations before the prover "
+        "(repro.analysis.effects): fully subsumed implementations skip "
+        "the prover as verified, statically refuted ones as not proved "
+        "with an OL401 blame; 'strict' additionally requires an exact "
+        "effect summary within the declared frame (deferrals reported "
+        "as OL403). Default: off",
+    )
+    parser.add_argument(
+        "--check-discharge",
+        action="store_true",
+        help="differential soundness guard: prove everything anyway and "
+        "report any disagreement between the static discharge and the "
+        "prover as an OL402 error (implies --static-discharge on)",
+    )
     return parser
 
 
@@ -244,14 +320,12 @@ def _print_frontend_errors(diagnostics, sources, fmt: str) -> None:
 
     if fmt == "json":
         print(render_json(diagnostics, ok=False))
+    elif fmt == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        print(render_sarif(diagnostics))
     else:
         print(render_text(diagnostics, dict(sources)), file=sys.stderr)
-
-
-def _severity_threshold(name: str):
-    from repro.analysis.diagnostics import Severity
-
-    return Severity.ERROR if name == "error" else Severity.WARNING
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -313,6 +387,8 @@ def _check_traced(args, sources, limits: Limits, tracer, outcome) -> int:
                 cache_dir=args.cache_dir,
                 job_timeout=args.job_timeout,
                 max_retries=args.max_retries,
+                static_discharge=args.static_discharge,
+                check_discharge=args.check_discharge,
             )
             outcome["report"] = report
         except ReproError as error:
@@ -331,16 +407,18 @@ def _check_traced(args, sources, limits: Limits, tracer, outcome) -> int:
         if tracer is not None:
             payload["metrics"] = tracer.metrics.to_dict()
         print(render_json([], **payload))
+    elif args.format == "sarif":
+        from repro.analysis.sarif import render_report_sarif
+
+        print(render_report_sarif(report))
     else:
         print(report.describe(stats=args.stats))
     if args.profile:
         from repro.obs import text_report
 
         print(text_report(tracer))
-    from repro.analysis.diagnostics import exceeds_threshold
-
-    failed = not report.ok or exceeds_threshold(
-        report.diagnostics, _severity_threshold(args.fail_on)
+    failed = not report.ok or _fails_threshold(
+        report.diagnostics, args.fail_on
     )
     return 1 if failed else 0
 
@@ -443,11 +521,7 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
     if read_error is not None:
         print(f"error: {read_error}", file=sys.stderr)
         return 2
-    from repro.analysis.diagnostics import (
-        exceeds_threshold,
-        render_json,
-        render_text,
-    )
+    from repro.analysis.diagnostics import render_json, render_text
     from repro.analysis.engine import lint_scope
 
     try:
@@ -479,12 +553,16 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
                 ok=result.ok,
             )
         )
+    elif args.format == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        print(render_sarif(result.diagnostics))
     else:
         text = render_text(result.diagnostics, dict(sources))
         if text:
             print(text)
         print(f"{len(result.diagnostics)} diagnostic(s)")
-    if exceeds_threshold(result.diagnostics, _severity_threshold(args.fail_on)):
+    if _fails_threshold(result.diagnostics, args.fail_on):
         return 1
     return 0
 

@@ -55,8 +55,16 @@ CACHEABLE_STATUSES = ("verified", "not proved", "resource limit exceeded")
 
 
 def code_version() -> str:
-    """The version stamp baked into every key and entry."""
-    return f"{__version__}+cache{CACHE_FORMAT}"
+    """The version stamp baked into every key and entry.
+
+    Includes the discharge-pass version: discharged implementations
+    never write cache entries, but which implementations *reach* the
+    prover (and the semantics the differential guard assumes) changes
+    with the pass, so cached verdicts must not outlive it.
+    """
+    from repro.analysis.effects import DISCHARGE_VERSION
+
+    return f"{__version__}+cache{CACHE_FORMAT}+discharge{DISCHARGE_VERSION}"
 
 
 def _limits_fingerprint(limits: Optional[Limits]) -> str:

@@ -218,6 +218,7 @@ class WorkerSupervisor:
         explain: bool = False,
         cache: Optional[ResultCache] = None,
         scope_deadline: Optional[float] = None,
+        preresolved: Optional[Dict[Tuple[str, int], object]] = None,
     ):
         self.scope = scope
         self.options = options
@@ -226,6 +227,10 @@ class WorkerSupervisor:
         # a hit would silently drop the blame report the caller asked for.
         self.cache = cache if not explain else None
         self.scope_deadline = scope_deadline
+        #: Verdicts decided before scheduling (static discharge): the
+        #: matching jobs are marked done up front — no worker, no cache
+        #: read or write, deadline-independent.
+        self.preresolved = dict(preresolved or {})
         self.job_limits = (
             replace(limits, scope_time_budget=None, scope_deadline=None)
             if limits is not None
@@ -259,6 +264,7 @@ class WorkerSupervisor:
                 tracer.current_index() if tracer is not None else None
             )
             try:
+                self._apply_preresolved(tracer, parent_span)
                 self._serve_from_cache(tracer, parent_span)
                 pending = [job for job in self.jobs if not job.done]
                 if pending:
@@ -271,10 +277,34 @@ class WorkerSupervisor:
     # Cache pre-pass
     # ------------------------------------------------------------------
 
+    def _apply_preresolved(self, tracer, parent_span) -> None:
+        for job in self.jobs:
+            verdict = self.preresolved.get((job.proc_name, job.impl_index))
+            if verdict is None:
+                continue
+            job.verdict = verdict
+            if tracer is not None:
+                now = time.perf_counter()
+                tracer.record(
+                    job.impl.name,
+                    "implementation",
+                    now,
+                    now,
+                    parent=parent_span,
+                    args={
+                        "discharged": True,
+                        "status": job.verdict.status.name.lower(),
+                    },
+                )
+
     def _serve_from_cache(self, tracer, parent_span) -> None:
         if self.cache is None:
             return
         for job in self.jobs:
+            if job.done:
+                # Preresolved (statically discharged) jobs never touch
+                # the cache — in either direction.
+                continue
             job.key = cache_key(
                 self.scope, job.impl, job.impl_index, self.job_limits
             )
@@ -669,6 +699,7 @@ def run_parallel_checks(
     explain: bool = False,
     cache: Optional[ResultCache] = None,
     scope_deadline: Optional[float] = None,
+    preresolved: Optional[Dict[Tuple[str, int], object]] = None,
 ) -> ParallelOutcome:
     """Convenience wrapper: build a supervisor, run it, return the jobs."""
     supervisor = WorkerSupervisor(
@@ -678,5 +709,6 @@ def run_parallel_checks(
         explain=explain,
         cache=cache,
         scope_deadline=scope_deadline,
+        preresolved=preresolved,
     )
     return supervisor.run()

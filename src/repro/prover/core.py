@@ -416,7 +416,10 @@ class Solver:
         self._refresh_caches()
         key = id(term)
         hit = self._lookup_cache.get(key)
-        if hit is not None:
+        # The pinned object must be *this* term: ids are reused once an
+        # object is freed, and a stale hit would silently evaluate the
+        # wrong term (making verdicts depend on heap layout).
+        if hit is not None and hit[0] is term:
             return hit[1]
         node = self.egraph.lookup(term)
         self._lookup_cache[key] = (term, node)
@@ -426,7 +429,7 @@ class Solver:
         self._refresh_caches()
         key = id(formula)
         hit = self._eval_cache.get(key)
-        if hit is not None:
+        if hit is not None and hit[0] is formula:
             return hit[1]
         value = self._eval_passive_raw(formula)
         self._eval_cache[key] = (formula, value)

@@ -115,6 +115,11 @@ class CheckReport:
     #: ``to_dict``: the report stays byte-identical across cache states
     #: and serial/parallel backends; the CLI exports it separately.
     cache_summary: Optional[dict] = None
+    #: Static-discharge tallies (obligations discharged / refuted /
+    #: deferred, per-impl outcomes), set when ``static_discharge`` was
+    #: enabled. Like ``cache_summary``, *not* part of ``to_dict`` — the
+    #: report stays verdict-identical with discharge on or off.
+    discharge_summary: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -325,8 +330,28 @@ def check_scope(
     cache_dir: Optional[str] = None,
     job_timeout: Optional[float] = None,
     max_retries: int = 2,
+    static_discharge: str = "off",
+    check_discharge: bool = False,
 ) -> CheckReport:
     """Check every implementation in ``scope``.
+
+    ``static_discharge="on"`` runs the interprocedural effect analyzer
+    (:mod:`repro.analysis.effects`) ahead of vcgen: implementations whose
+    every obligation is statically subsumed in the inclusion lattice skip
+    the prover with a ``VERIFIED`` verdict, and statically refuted ones
+    skip it with ``NOT_PROVED`` plus an ``OL401`` blame diagnostic;
+    everything else reaches the prover unchanged. ``"strict"``
+    additionally refuses to discharge implementations whose effect
+    summary is opaque or exceeds the declared frame (reported as OL403).
+    Discharged verdicts are never written to the result cache, and the
+    pass is disabled under ``explain=True`` (explanations need a prover
+    run). A crash in the pass degrades to an ``OL900`` warning and full
+    proving.
+
+    ``check_discharge=True`` is the differential soundness guard: every
+    implementation is still proved, and each prover verdict is compared
+    against the discharge prediction — a disagreement is reported as an
+    ``OL402`` error. Implies ``static_discharge="on"`` if it was off.
 
     ``explain=True`` asks the prover to keep its reasoning: failed
     verdicts carry a source-anchored blame report built from the
@@ -376,6 +401,14 @@ def check_scope(
     """
     from repro import obs
 
+    if static_discharge not in ("off", "on", "strict"):
+        raise ValueError(
+            f"static_discharge must be 'off', 'on' or 'strict', "
+            f"not {static_discharge!r}"
+        )
+    if check_discharge and static_discharge == "off":
+        static_discharge = "on"
+
     with obs.span("check_scope", obs.CAT_PIPELINE):
         return _check_scope_traced(
             scope,
@@ -387,6 +420,8 @@ def check_scope(
             cache_dir=cache_dir,
             job_timeout=job_timeout,
             max_retries=max_retries,
+            static_discharge=static_discharge,
+            check_discharge=check_discharge,
         )
 
 
@@ -401,6 +436,8 @@ def _check_scope_traced(
     cache_dir: Optional[str] = None,
     job_timeout: Optional[float] = None,
     max_retries: int = 2,
+    static_discharge: str = "off",
+    check_discharge: bool = False,
 ) -> CheckReport:
     from repro import obs
 
@@ -464,6 +501,27 @@ def _check_scope_traced(
                     "pivot restriction pass", exc, severity=Severity.WARNING
                 )
             )
+    discharge = None
+    if static_discharge != "off" and not explain:
+        # Explain runs want the prover's reasoning; a discharged verdict
+        # has none to offer, so the pass is bypassed entirely.
+        from repro.analysis.effects import discharge_scope
+
+        try:
+            with obs.span("discharge", obs.CAT_PIPELINE):
+                discharge = discharge_scope(scope, mode=static_discharge)
+        except Exception as exc:
+            report.diagnostics.append(
+                internal_error_diagnostic(
+                    "static discharge", exc, severity=Severity.WARNING
+                )
+            )
+        if discharge is not None:
+            report.diagnostics.extend(discharge.diagnostics)
+            report.discharge_summary = discharge.summary_dict()
+            report.discharge_summary["checked"] = check_discharge
+            _record_discharge_metrics(discharge)
+
     cache = None
     if cache_dir is not None and not explain:
         from repro.parallel.cache import ResultCache
@@ -483,10 +541,19 @@ def _check_scope_traced(
             job_timeout=job_timeout,
             max_retries=max_retries,
             explain=explain,
+            discharge=discharge,
+            check_discharge=check_discharge,
         )
     else:
         _check_impls_serial(
-            scope, limits, deadline, report, cache=cache, explain=explain
+            scope,
+            limits,
+            deadline,
+            report,
+            cache=cache,
+            explain=explain,
+            discharge=discharge,
+            check_discharge=check_discharge,
         )
     if cache is not None:
         report.diagnostics.extend(_cache_rejection_diagnostics(cache))
@@ -495,7 +562,9 @@ def _check_scope_traced(
     return report
 
 
-def _record_verdict_metrics(verdict: ImplVerdict, *, cache_hit: bool) -> None:
+def _record_verdict_metrics(
+    verdict: ImplVerdict, *, cache_hit: bool, discharged: bool = False
+) -> None:
     from repro import obs
 
     registry = obs.metrics()
@@ -505,10 +574,117 @@ def _record_verdict_metrics(verdict: ImplVerdict, *, cache_hit: bool) -> None:
         # The cached stats describe work a *previous* run did; record
         # only the hit, not phantom prover effort.
         registry.inc("checker.cache_hits")
+    elif discharged:
+        registry.inc("checker.discharged")
     else:
         registry.record_prover_stats(verdict.stats)
     registry.inc("checker.impls")
     registry.inc(f"checker.status.{verdict.status.name.lower()}")
+
+
+def _record_discharge_metrics(discharge) -> None:
+    from repro import obs
+
+    registry = obs.metrics()
+    if registry is None:
+        return
+    obligations = discharge.obligation_counts()
+    registry.inc(
+        "discharge.obligations_discharged", obligations["static-valid"]
+    )
+    registry.inc(
+        "discharge.obligations_refuted", obligations["static-violation"]
+    )
+    registry.inc("discharge.obligations_deferred", obligations["unknown"])
+    impls = discharge.impl_counts()
+    registry.inc("discharge.impls_discharged", impls["static-valid"])
+    registry.inc("discharge.impls_refuted", impls["static-violation"])
+    registry.inc("discharge.impls_deferred", impls["unknown"])
+
+
+def _discharged_verdict(impl: ImplDecl, index: int, entry) -> ImplVerdict:
+    """The verdict a discharge outcome predicts, with empty prover stats
+    (no prover ran)."""
+    from repro.analysis.effects import Outcome
+
+    if entry.outcome is Outcome.STATIC_VALID:
+        return ImplVerdict(
+            impl=impl,
+            index=index,
+            status=ImplStatus.VERIFIED,
+            stats=ProverStats(),
+        )
+    assert entry.outcome is Outcome.STATIC_VIOLATION
+    return ImplVerdict(
+        impl=impl,
+        index=index,
+        status=ImplStatus.NOT_PROVED,
+        stats=ProverStats(),
+        failed_obligation=entry.blame.obligation,
+    )
+
+
+def _discharge_entry(discharge, impl: ImplDecl, index: int):
+    """The actionable discharge entry for one implementation, if any."""
+    if discharge is None:
+        return None
+    from repro.analysis.effects import Outcome
+
+    entry = discharge.impls.get((impl.name, index))
+    if entry is None or entry.outcome is Outcome.UNKNOWN:
+        return None
+    return entry
+
+
+def _emit_discharge_findings(report: CheckReport, discharge, entry) -> None:
+    """The OL401 diagnostics for a statically refuted implementation."""
+    from repro.analysis.effects import Outcome, violation_diagnostic
+
+    if entry.outcome is not Outcome.STATIC_VIOLATION:
+        return
+    report.diagnostics.append(
+        violation_diagnostic(discharge.lattice.scope, entry, entry.blame)
+    )
+
+
+def _compare_discharge(
+    report: CheckReport, discharge, entry, verdict: ImplVerdict
+) -> None:
+    """``--check-discharge``: diff one prover verdict against the static
+    prediction. Non-terminal prover outcomes (timeouts, resource
+    exhaustion, crashes) are not semantic disagreements — the prover
+    never answered — and are skipped."""
+    from repro.analysis.effects import Outcome
+
+    predicted = (
+        ImplStatus.VERIFIED
+        if entry.outcome is Outcome.STATIC_VALID
+        else ImplStatus.NOT_PROVED
+    )
+    if verdict.status not in (ImplStatus.VERIFIED, ImplStatus.NOT_PROVED):
+        return
+    if verdict.status is predicted:
+        if report.discharge_summary is not None:
+            report.discharge_summary["agreements"] = (
+                report.discharge_summary.get("agreements", 0) + 1
+            )
+        _emit_discharge_findings(report, discharge, entry)
+        return
+    if report.discharge_summary is not None:
+        report.discharge_summary["disagreements"] = (
+            report.discharge_summary.get("disagreements", 0) + 1
+        )
+    report.diagnostics.append(
+        Diagnostic(
+            code="OL402",
+            message=(
+                f"static discharge predicted {predicted.value!r} for "
+                f"impl {verdict.impl.name}#{verdict.index} but the "
+                f"prover returned {verdict.status.value!r}"
+            ),
+            impl=verdict.impl.name,
+        )
+    )
 
 
 def _check_impls_serial(
@@ -519,6 +695,8 @@ def _check_impls_serial(
     *,
     cache,
     explain: bool,
+    discharge=None,
+    check_discharge: bool = False,
 ) -> None:
     if cache is not None:
         from repro.parallel.cache import (
@@ -529,12 +707,27 @@ def _check_impls_serial(
 
     for impls in scope.impls.values():
         for index, impl in enumerate(impls):
+            entry = _discharge_entry(discharge, impl, index)
+            if entry is not None and not check_discharge:
+                # Statically discharged: no prover, no cache traffic
+                # (cached verdicts must always mean "the prover said
+                # so"), and — like a cache hit — served even past the
+                # scope deadline.
+                verdict = _discharged_verdict(impl, index, entry)
+                _emit_discharge_findings(report, discharge, entry)
+                _record_verdict_metrics(
+                    verdict, cache_hit=False, discharged=True
+                )
+                report.verdicts.append(verdict)
+                continue
             key = None
             if cache is not None:
                 key = cache_key(scope, impl, index, limits)
                 payload = cache.load(key)
                 if payload is not None:
                     verdict = payload_to_verdict(payload, impl, index)
+                    if entry is not None:
+                        _compare_discharge(report, discharge, entry, verdict)
                     _record_verdict_metrics(verdict, cache_hit=True)
                     report.verdicts.append(verdict)
                     continue
@@ -547,6 +740,8 @@ def _check_impls_serial(
                     cache.store(key, payload, impl=impl.name, index=index)
             if explain_crash is not None:
                 report.diagnostics.append(explain_crash)
+            if entry is not None:
+                _compare_discharge(report, discharge, entry, verdict)
             _record_verdict_metrics(verdict, cache_hit=False)
             report.verdicts.append(verdict)
 
@@ -562,8 +757,20 @@ def _check_impls_parallel(
     job_timeout: Optional[float],
     max_retries: int,
     explain: bool,
+    discharge=None,
+    check_discharge: bool = False,
 ) -> None:
     from repro.parallel.supervisor import ParallelOptions, run_parallel_checks
+
+    preresolved = {}
+    if discharge is not None and not check_discharge:
+        for impls in scope.impls.values():
+            for index, impl in enumerate(impls):
+                entry = _discharge_entry(discharge, impl, index)
+                if entry is not None:
+                    preresolved[(impl.name, index)] = _discharged_verdict(
+                        impl, index, entry
+                    )
 
     options = ParallelOptions(
         jobs=max(1, int(parallel)),
@@ -577,12 +784,24 @@ def _check_impls_parallel(
         explain=explain,
         cache=cache,
         scope_deadline=deadline,
+        preresolved=preresolved,
     )
     # Merge in job (declaration) order, independent of completion order.
     for job in outcome.jobs:
         if job.explain_crash is not None:
             report.diagnostics.append(job.explain_crash)
-        _record_verdict_metrics(job.verdict, cache_hit=job.cache_hit)
+        entry = _discharge_entry(discharge, job.verdict.impl, job.verdict.index)
+        if entry is not None:
+            if (job.verdict.impl.name, job.verdict.index) in preresolved:
+                _emit_discharge_findings(report, discharge, entry)
+            elif check_discharge:
+                _compare_discharge(report, discharge, entry, job.verdict)
+        _record_verdict_metrics(
+            job.verdict,
+            cache_hit=job.cache_hit,
+            discharged=(job.verdict.impl.name, job.verdict.index)
+            in preresolved,
+        )
         report.verdicts.append(job.verdict)
 
 

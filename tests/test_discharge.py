@@ -1,0 +1,238 @@
+"""End-to-end tests for static discharge in the checking pipeline.
+
+Covers the static-discharge PR's driver wiring:
+
+* verdict identity: ``static_discharge="on"`` produces byte-identical
+  verdicts to ``"off"`` on the whole example corpus, serial and
+  parallel;
+* the farm corpus discharges at least half of its obligations;
+* a discharged implementation genuinely skips the prover (proved with
+  the fault-injection harness: a planted prover fault never fires);
+* statically refuted implementations come back ``NOT_PROVED`` with an
+  ``OL401`` blame diagnostic, without a prover run;
+* ``check_discharge=True`` re-proves everything and reports zero
+  disagreements on the corpus (``OL402`` stays silent);
+* strict mode defers opaque-summary implementations with ``OL403``;
+* discharged verdicts are never written to the result cache;
+* the discharge pass version participates in the cache key.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.analysis.effects import DISCHARGE_VERSION
+from repro.api import check_program
+from repro.corpus.generators import generate_impl_farm
+from repro.oolong.program import Scope
+from repro.parallel.cache import code_version
+from repro.prover.core import Limits
+from repro.testing.faults import Fault, FaultError, FaultPlan, inject
+from repro.vcgen.checker import ImplStatus, check_scope
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+LIMITS = Limits(time_budget=60.0)
+
+
+def example_sources():
+    paths = sorted(
+        glob.glob(os.path.join(EXAMPLES_DIR, "*.oolong"))
+    ) + sorted(glob.glob(os.path.join(EXAMPLES_DIR, "failing", "*.oolong")))
+    assert paths, "example corpus is empty"
+    return [(os.path.basename(p), open(p).read()) for p in paths]
+
+
+def verdict_fingerprint(report):
+    return [
+        (v.impl.name, v.index, v.status.value) for v in report.verdicts
+    ]
+
+
+# ----------------------------------------------------------------------
+# Verdict identity: discharge must never change an answer
+# ----------------------------------------------------------------------
+
+
+class TestVerdictIdentity:
+    @pytest.mark.parametrize("name,source", example_sources())
+    def test_serial_on_equals_off(self, name, source):
+        off = check_program(source, LIMITS)
+        on = check_program(source, LIMITS, static_discharge="on")
+        assert verdict_fingerprint(on) == verdict_fingerprint(off)
+
+    def test_parallel_on_equals_off(self):
+        source = generate_impl_farm(4, fields=3)
+        off = check_program(source, LIMITS, parallel=2)
+        on = check_program(
+            source, LIMITS, parallel=2, static_discharge="on"
+        )
+        assert verdict_fingerprint(on) == verdict_fingerprint(off)
+
+    def test_mode_is_validated(self):
+        scope = Scope.from_source("field f")
+        with pytest.raises(ValueError):
+            check_scope(scope, LIMITS, static_discharge="sometimes")
+
+
+# ----------------------------------------------------------------------
+# Discharge rate and prover skipping
+# ----------------------------------------------------------------------
+
+
+class TestDischargeRate:
+    def test_farm_discharges_at_least_half(self):
+        source = generate_impl_farm(8, fields=4)
+        report = check_program(source, LIMITS, static_discharge="on")
+        summary = report.discharge_summary
+        assert summary is not None
+        assert summary["obligations_total"] > 0
+        assert summary["discharge_rate"] >= 0.5
+        assert all(v.status is ImplStatus.VERIFIED for v in report.verdicts)
+
+    def test_discharged_impl_never_reaches_prover(self):
+        """With every farm impl statically valid, a planted prover fault
+        must never fire — the strongest possible "skipped the prover"."""
+        source = generate_impl_farm(3, fields=3)
+        with inject(FaultPlan((Fault("prove", "raise", hit=0),))) as injector:
+            report = check_program(source, LIMITS, static_discharge="on")
+        assert all(v.status is ImplStatus.VERIFIED for v in report.verdicts)
+        assert injector.counts.get("prove", 0) == 0
+        assert not injector.fired
+
+    def test_off_mode_reaches_prover(self):
+        source = generate_impl_farm(3, fields=3)
+        with inject(FaultPlan((Fault("prove", "raise", hit=0),))):
+            report = check_program(source, LIMITS)
+        assert any(
+            v.status is ImplStatus.INTERNAL_ERROR for v in report.verdicts
+        )
+        assert report.discharge_summary is None
+
+
+# ----------------------------------------------------------------------
+# Static refutation: OL401, no prover run
+# ----------------------------------------------------------------------
+
+
+BAD_WRITE = open(
+    os.path.join(EXAMPLES_DIR, "failing", "bad_write.oolong")
+).read()
+
+
+class TestStaticViolation:
+    def test_refuted_impl_is_not_proved_with_blame(self):
+        with inject(FaultPlan((Fault("prove", "raise", hit=0),))) as injector:
+            report = check_program(BAD_WRITE, LIMITS, static_discharge="on")
+        verdict = report.verdicts[0]
+        assert verdict.status is ImplStatus.NOT_PROVED
+        assert verdict.failed_obligation is not None
+        assert injector.counts.get("prove", 0) == 0
+        errors = [d for d in report.diagnostics if d.code == "OL401"]
+        assert len(errors) == 1
+        assert errors[0].impl == verdict.impl.name
+        assert errors[0].position is not None
+        assert errors[0].notes  # inclusion-chain blame rides along
+
+    def test_refutation_matches_prover(self):
+        baseline = check_program(BAD_WRITE, LIMITS)
+        static = check_program(BAD_WRITE, LIMITS, static_discharge="on")
+        assert verdict_fingerprint(static) == verdict_fingerprint(baseline)
+
+
+# ----------------------------------------------------------------------
+# The differential guard
+# ----------------------------------------------------------------------
+
+
+class TestCheckDischarge:
+    @pytest.mark.parametrize("name,source", example_sources())
+    def test_no_disagreements_on_corpus(self, name, source):
+        report = check_program(source, LIMITS, check_discharge=True)
+        assert not [d for d in report.diagnostics if d.code == "OL402"]
+        summary = report.discharge_summary
+        assert summary is not None and summary["checked"]
+        assert summary.get("disagreements", 0) == 0
+
+    def test_check_discharge_implies_on(self):
+        source = generate_impl_farm(2, fields=2)
+        report = check_program(source, LIMITS, check_discharge=True)
+        assert report.discharge_summary is not None
+        assert report.discharge_summary["mode"] == "on"
+
+    def test_agreements_are_counted(self):
+        source = generate_impl_farm(3, fields=3)
+        report = check_program(source, LIMITS, check_discharge=True)
+        assert report.discharge_summary.get("agreements", 0) >= 3
+
+    def test_check_discharge_still_proves(self):
+        """The guard re-proves everything: a prover fault now fires even
+        though the impls are statically discharged."""
+        source = generate_impl_farm(2, fields=2)
+        with inject(FaultPlan((Fault("prove", "raise", hit=0),))) as injector:
+            check_program(source, LIMITS, check_discharge=True)
+        assert injector.counts.get("prove", 0) > 0
+
+
+# ----------------------------------------------------------------------
+# Strict mode
+# ----------------------------------------------------------------------
+
+
+OPAQUE_CALLEE = """
+group g
+field f in g
+proc helper(o) modifies o.g
+proc driver(o) modifies o.g
+impl driver(o) {
+  assume o != null ;
+  helper(o)
+}
+"""
+
+
+class TestStrictMode:
+    def test_strict_defers_opaque_summaries_with_ol403(self):
+        scope = Scope.from_source(OPAQUE_CALLEE)
+        report = check_scope(scope, LIMITS, static_discharge="strict")
+        deferred = [d for d in report.diagnostics if d.code == "OL403"]
+        assert deferred, "strict mode must report the deferral"
+        assert report.discharge_summary["mode"] == "strict"
+        # Deferred means the prover decided — and the verdict matches
+        # the plain run.
+        baseline = check_scope(
+            Scope.from_source(OPAQUE_CALLEE), LIMITS
+        )
+        assert verdict_fingerprint(report) == verdict_fingerprint(baseline)
+
+    def test_strict_still_discharges_closed_impls(self):
+        source = generate_impl_farm(3, fields=3)
+        report = check_program(source, LIMITS, static_discharge="strict")
+        assert report.discharge_summary["discharge_rate"] > 0
+
+
+# ----------------------------------------------------------------------
+# Cache interaction
+# ----------------------------------------------------------------------
+
+
+class TestCacheInteraction:
+    def test_discharged_verdicts_not_cached(self, tmp_path):
+        source = generate_impl_farm(3, fields=3)
+        cache_dir = str(tmp_path / "cache")
+        report = check_program(
+            source, LIMITS, cache_dir=cache_dir, static_discharge="on"
+        )
+        assert all(v.status is ImplStatus.VERIFIED for v in report.verdicts)
+        assert report.cache_summary["stores"] == 0
+        assert not glob.glob(os.path.join(cache_dir, "*.json"))
+
+    def test_prover_verdicts_still_cached_when_off(self, tmp_path):
+        source = generate_impl_farm(2, fields=2)
+        cache_dir = str(tmp_path / "cache")
+        report = check_program(source, LIMITS, cache_dir=cache_dir)
+        assert report.cache_summary["stores"] == 2
+
+    def test_cache_key_includes_discharge_version(self):
+        assert f"discharge{DISCHARGE_VERSION}" in code_version()
