@@ -82,6 +82,7 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "OL901": (Severity.ERROR, "time budget exhausted"),
     "OL902": (Severity.ERROR, "worker process died repeatedly; job quarantined"),
     "OL903": (Severity.WARNING, "result cache entry rejected"),
+    "OL904": (Severity.WARNING, "distributed backend unavailable; degraded to local checking"),
 }
 
 #: Legacy rule-tag aliases (the strings PivotViolation has always used).
@@ -107,6 +108,7 @@ RULE_ALIASES: Dict[str, str] = {
     "discharge-deferred": "OL403",
     "internal-error": "OL900",
     "deadline": "OL901",
+    "fleet-degraded": "OL904",
 }
 
 _CODE_TO_RULE = {code: rule for rule, code in RULE_ALIASES.items()}

@@ -95,7 +95,10 @@ def check_program(
     tracer=None,
     explain: bool = False,
     parallel: Optional[int] = None,
+    fleet=None,
     cache_dir: Optional[str] = None,
+    cache_url: Optional[str] = None,
+    cache_max_bytes: Optional[int] = None,
     job_timeout: Optional[float] = None,
     max_retries: int = 2,
     static_discharge: str = "off",
@@ -128,7 +131,10 @@ def check_program(
             limits,
             explain=explain,
             parallel=parallel,
+            fleet=fleet,
             cache_dir=cache_dir,
+            cache_url=cache_url,
+            cache_max_bytes=cache_max_bytes,
             job_timeout=job_timeout,
             max_retries=max_retries,
             static_discharge=static_discharge,
@@ -144,7 +150,10 @@ def check_program_resilient(
     tracer=None,
     explain: bool = False,
     parallel: Optional[int] = None,
+    fleet=None,
     cache_dir: Optional[str] = None,
+    cache_url: Optional[str] = None,
+    cache_max_bytes: Optional[int] = None,
     job_timeout: Optional[float] = None,
     max_retries: int = 2,
     static_discharge: str = "off",
@@ -172,7 +181,10 @@ def check_program_resilient(
             filename=filename,
             explain=explain,
             parallel=parallel,
+            fleet=fleet,
             cache_dir=cache_dir,
+            cache_url=cache_url,
+            cache_max_bytes=cache_max_bytes,
             job_timeout=job_timeout,
             max_retries=max_retries,
             static_discharge=static_discharge,
@@ -187,7 +199,10 @@ def _check_program_resilient(
     filename: Optional[str],
     explain: bool = False,
     parallel: Optional[int] = None,
+    fleet=None,
     cache_dir: Optional[str] = None,
+    cache_url: Optional[str] = None,
+    cache_max_bytes: Optional[int] = None,
     job_timeout: Optional[float] = None,
     max_retries: int = 2,
     static_discharge: str = "off",
@@ -215,7 +230,10 @@ def _check_program_resilient(
             limits,
             explain=explain,
             parallel=parallel,
+            fleet=fleet,
             cache_dir=cache_dir,
+            cache_url=cache_url,
+            cache_max_bytes=cache_max_bytes,
             job_timeout=job_timeout,
             max_retries=max_retries,
             static_discharge=static_discharge,

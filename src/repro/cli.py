@@ -33,6 +33,12 @@ up to ``--max-retries`` (then OL902 quarantine), and ``--cache-dir``
 enables the crash-safe incremental result cache (corrupted entries are
 rejected with OL903 and recomputed). See README "Parallel & incremental
 checking".
+``--fleet N|HOST:PORT`` distributes the same jobs over a socket worker
+fleet with lease-based work stealing (``oolong-check workers serve``
+runs a standing pool; ``oolong-check cache serve`` a shared result-cache
+server for ``--cache-url``). A fleet or cache server that cannot be
+reached degrades the run to local checking with an OL904 warning — it
+never fails it. See README "Distributed checking".
 Sources are parsed per file with panic-mode error recovery, so every
 diagnostic position names the file it points into and *all* syntax
 errors across all files are reported in one run (as ``OL001``/``OL002``
@@ -95,6 +101,45 @@ def _fail_on_value(value: str) -> str:
     """argparse ``type`` hook: validate eagerly (unknown codes abort the
     parse with a clear message), keep the raw string on ``args``."""
     _parse_fail_on(value)
+    return value
+
+
+def _nonneg_int(value: str) -> int:
+    """argparse ``type`` hook: a non-negative integer (``--max-retries``
+    et al. — a negative retry budget would silently mean "never retry"
+    in some code paths and "retry forever" in others)."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"expected a value >= 0, got {parsed}")
+    return parsed
+
+
+def _nonneg_float(value: str) -> float:
+    """argparse ``type`` hook: a non-negative float (timeouts, waits)."""
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {value!r}")
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"expected a value >= 0, got {parsed}")
+    return parsed
+
+
+def _fleet_value(value: str) -> str:
+    """argparse ``type`` hook for ``--fleet``: worker count or HOST:PORT.
+
+    Validates eagerly so a typo is a parse error, not a mid-run OL904
+    degradation; keeps the raw string on ``args``.
+    """
+    from repro.parallel.fleet import FleetOptions
+
+    try:
+        FleetOptions.from_spec(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
     return value
 
 
@@ -228,6 +273,27 @@ def build_parser() -> argparse.ArgumentParser:
         "only its own verdict). Default: serial, in-process",
     )
     parser.add_argument(
+        "--fleet",
+        type=_fleet_value,
+        metavar="N|HOST:PORT",
+        default=None,
+        help="check implementations on a socket worker fleet: an integer "
+        "spawns N local socket workers; HOST:PORT binds the coordinator "
+        "there for externally started pools ('oolong-check workers "
+        "serve'). Idle workers steal renewable leases; expired leases "
+        "are reassigned with jittered backoff. An unreachable fleet "
+        "degrades to local checking with an OL904 warning — it never "
+        "fails the run",
+    )
+    parser.add_argument(
+        "--fleet-wait",
+        type=_nonneg_float,
+        metavar="S",
+        default=None,
+        help="with --fleet: seconds to wait for the first worker to "
+        "register before degrading to local checking (default: 5)",
+    )
+    parser.add_argument(
         "--cache-dir",
         metavar="PATH",
         default=None,
@@ -237,21 +303,38 @@ def build_parser() -> argparse.ArgumentParser:
         "recomputed. Bypassed under --explain",
     )
     parser.add_argument(
+        "--cache-url",
+        metavar="HOST:PORT",
+        default=None,
+        help="use a shared result-cache server ('oolong-check cache "
+        "serve') instead of a local --cache-dir; entries are checksum-"
+        "validated on both ends (OL903 on rejection). An unreachable or "
+        "mid-run-lost server degrades to OL904, never fails the run",
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=_nonneg_int,
+        metavar="B",
+        default=None,
+        help="with --cache-dir: bound the cache directory to B bytes by "
+        "evicting least-recently-used entries on store",
+    )
+    parser.add_argument(
         "--max-retries",
-        type=int,
+        type=_nonneg_int,
         metavar="K",
         default=2,
-        help="with -j: retries after a worker death before the job is "
-        "quarantined as INTERNAL_ERROR/OL902 (default: 2)",
+        help="with -j/--fleet: retries after a worker death before the "
+        "job is quarantined as INTERNAL_ERROR/OL902 (default: 2)",
     )
     parser.add_argument(
         "--job-timeout",
-        type=float,
+        type=_nonneg_float,
         metavar="S",
         default=None,
-        help="with -j: hard wall-clock limit per proof job, in seconds — "
-        "the worker is SIGKILLed (no cooperative poll needed) and the "
-        "verdict is TIMED_OUT/OL901",
+        help="with -j/--fleet: hard wall-clock limit per proof job, in "
+        "seconds — the worker is SIGKILLed (no cooperative poll needed) "
+        "and the verdict is TIMED_OUT/OL901",
     )
     parser.add_argument(
         "--static-discharge",
@@ -334,6 +417,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "workers":
+        return workers_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
     return check_main(argv)
 
 
@@ -384,7 +471,10 @@ def _check_traced(args, sources, limits: Limits, tracer, outcome) -> int:
                 lint=not args.no_lint,
                 explain=args.explain,
                 parallel=args.jobs,
+                fleet=_fleet_spec(args),
                 cache_dir=args.cache_dir,
+                cache_url=args.cache_url,
+                cache_max_bytes=args.cache_max_bytes,
                 job_timeout=args.job_timeout,
                 max_retries=args.max_retries,
                 static_discharge=args.static_discharge,
@@ -421,6 +511,24 @@ def _check_traced(args, sources, limits: Limits, tracer, outcome) -> int:
         report.diagnostics, args.fail_on
     )
     return 1 if failed else 0
+
+
+def _fleet_spec(args):
+    """Turn ``--fleet``/``--fleet-wait`` into a ``check_scope`` spec.
+
+    The common case stays the raw string (the checker resolves it);
+    ``--fleet-wait`` forces an eager :class:`FleetOptions` so the
+    registration wait rides along.
+    """
+    if args.fleet is None:
+        return None
+    if args.fleet_wait is None:
+        return args.fleet
+    from repro.parallel.fleet import FleetOptions
+
+    return FleetOptions.from_spec(
+        args.fleet, registration_wait=args.fleet_wait
+    )
 
 
 def _export(label: str, path: Optional[str], writer) -> None:
@@ -480,14 +588,18 @@ def _write_exports(args, tracer, outcome) -> None:
         import json
         import os
 
+        from repro.parallel.cache import atomic_write_text
+
         summary = (
             report.cache_summary if report is not None else None
         ) or {"directory": args.cache_dir, "note": "run ended before checking"}
+        # Atomic (write-to-temp + rename): a reader polling summary.json
+        # (CI dashboards, a concurrent run) never sees a torn file.
         _export(
             "cache summary",
             os.path.join(args.cache_dir, "summary.json"),
-            lambda path: _write_text(
-                path, json.dumps(summary, indent=2, sort_keys=True)
+            lambda path: atomic_write_text(
+                path, json.dumps(summary, indent=2, sort_keys=True) + "\n"
             ),
         )
 
@@ -512,6 +624,119 @@ def _render_explanations(args, report) -> str:
         return json.dumps(payload, indent=2, sort_keys=True)
     blocks = [e.render_text() for e in explanations]
     return "\n\n".join(blocks) if blocks else "(no explanations)"
+
+
+def workers_main(argv: Optional[List[str]] = None) -> int:
+    """``oolong-check workers serve HOST:PORT`` — a standing worker pool.
+
+    The pool keeps dialing the coordinator address, so it can be started
+    before any checker run exists and survives across successive runs
+    (each run's coordinator binds the same address, the workers rejoin).
+    """
+    parser = argparse.ArgumentParser(
+        prog="oolong-check workers",
+        description=(
+            "Run a standing pool of fleet proof workers that dial a "
+            "coordinator address and steal job leases from it (see "
+            "'oolong-check --fleet HOST:PORT')."
+        ),
+    )
+    parser.add_argument(
+        "action", choices=("serve",), help="serve: run the pool until ^C"
+    )
+    parser.add_argument(
+        "address",
+        metavar="HOST:PORT",
+        help="fleet coordinator address to dial",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=_nonneg_int,
+        metavar="N",
+        default=2,
+        help="worker processes in the pool (default: 2)",
+    )
+    parser.add_argument(
+        "--token",
+        default=None,
+        help="shared fleet token (must match the coordinator's)",
+    )
+    args = parser.parse_args(argv)
+    from repro.parallel.fleet import serve_workers_forever
+    from repro.parallel.transport import parse_address
+
+    try:
+        address = parse_address(args.address)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("error: --jobs must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        serve_workers_forever(address, jobs=args.jobs, token=args.token)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cache_main(argv: Optional[List[str]] = None) -> int:
+    """``oolong-check cache serve HOST:PORT --dir DIR`` — a shared cache."""
+    parser = argparse.ArgumentParser(
+        prog="oolong-check cache",
+        description=(
+            "Serve an on-disk result cache over a socket so many checker "
+            "runs can warm each other (see 'oolong-check --cache-url')."
+        ),
+    )
+    parser.add_argument(
+        "action", choices=("serve",), help="serve: run the server until ^C"
+    )
+    parser.add_argument(
+        "address", metavar="HOST:PORT", help="address to listen on"
+    )
+    parser.add_argument(
+        "--dir",
+        dest="directory",
+        metavar="PATH",
+        required=True,
+        help="cache directory to serve (created if missing)",
+    )
+    parser.add_argument(
+        "--max-bytes",
+        type=_nonneg_int,
+        metavar="B",
+        default=None,
+        help="evict least-recently-used entries beyond B bytes",
+    )
+    parser.add_argument(
+        "--token",
+        default=None,
+        help="shared secret clients must present",
+    )
+    args = parser.parse_args(argv)
+    from repro.parallel.cacheserver import serve_cache_forever
+    from repro.parallel.transport import parse_address
+
+    try:
+        address = parse_address(args.address)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        serve_cache_forever(
+            args.directory,
+            address,
+            max_bytes=args.max_bytes or None,
+            token=args.token,
+        )
+    except KeyboardInterrupt:
+        pass
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def lint_main(argv: Optional[List[str]] = None) -> int:

@@ -1,4 +1,4 @@
-"""``repro.parallel`` — supervised multi-process checking.
+"""``repro.parallel`` — supervised multi-process and distributed checking.
 
 The paper's modular-soundness result (scope monotonicity) makes every
 per-implementation verdict independent of the others; this package
@@ -14,23 +14,65 @@ exploits that independence for throughput *and* robustness:
 * :mod:`repro.parallel.worker` — the long-lived worker process: one
   duplex pipe, a heartbeat thread, and the same per-implementation
   crash isolation the serial driver uses;
+* :mod:`repro.parallel.jobs` — the transport-neutral job book shared by
+  the local supervisor and the fleet coordinator: one :class:`Job` per
+  implementation, deterministic jittered backoff, and the exact
+  ``OL901``/``OL902`` verdict constructors, so every scheduler fails
+  identically;
+* :mod:`repro.parallel.transport` — length-prefixed, checksummed socket
+  framing with read deadlines; a damaged frame is rejected (and the
+  stream resynchronised) rather than trusted;
+* :mod:`repro.parallel.fleet` — the distributed scheduler: a socket
+  coordinator handing out *renewable leases* to a fleet of local and/or
+  remote workers via work stealing; expired leases are reclaimed and
+  reassigned with backoff, and an unreachable or collapsed fleet
+  degrades to the local supervisor with ``OL904`` — never a failed run;
 * :mod:`repro.parallel.cache` — a crash-safe incremental result cache:
   verdicts keyed by a content hash of (implementation source, scope
   interface, limits, code version), published with atomic
-  temp-file+rename and a per-entry checksum, so a ``kill -9`` loses at
-  most the in-flight jobs and corrupted or version-skewed entries are
-  rejected (``OL903``) and recomputed.
+  temp-file+rename and a per-entry checksum, LRU-bounded on disk with
+  ``max_bytes``, so a ``kill -9`` loses at most the in-flight jobs and
+  corrupted or version-skewed entries are rejected (``OL903``) and
+  recomputed;
+* :mod:`repro.parallel.cacheserver` — the same cache served over the
+  fleet transport (:class:`CacheServer` / :class:`RemoteCache`), with
+  entries checksum-validated on both ends of the wire and a mid-run
+  circuit breaker instead of stalls.
 
-Entry points: ``check_scope(parallel=N, cache_dir=...)``,
-``check_program*(parallel=N, cache_dir=...)``, and the CLI
-(``oolong-check -j N --cache-dir PATH --max-retries K --job-timeout S``).
+Entry points: ``check_scope(parallel=N | fleet=..., cache_dir=...,
+cache_url=...)``, ``check_program*`` with the same keywords, and the CLI
+(``oolong-check -j N | --fleet N|HOST:PORT``, ``oolong-check workers
+serve``, ``oolong-check cache serve``).
 """
 
 from repro.parallel.cache import (
     CACHEABLE_STATUSES,
     ResultCache,
+    atomic_write_text,
     cache_key,
     code_version,
+    validate_entry,
+)
+from repro.parallel.cacheserver import (
+    CacheServer,
+    CacheUnavailable,
+    RemoteCache,
+    serve_cache_forever,
+)
+from repro.parallel.fleet import (
+    FleetCoordinator,
+    FleetOptions,
+    FleetOutcome,
+    FleetUnavailable,
+    fleet_worker_main,
+    run_fleet_checks,
+    serve_workers_forever,
+)
+from repro.parallel.jobs import (
+    Job,
+    backoff_delay,
+    build_jobs,
+    jitter_fraction,
 )
 from repro.parallel.supervisor import (
     ParallelOptions,
@@ -38,18 +80,51 @@ from repro.parallel.supervisor import (
     WorkerSupervisor,
     run_parallel_checks,
 )
+from repro.parallel.transport import (
+    ConnectionClosed,
+    FrameError,
+    FramedSocket,
+    FramePolicy,
+    ReadTimeout,
+    TransportError,
+    parse_address,
+)
 from repro.parallel.worker import KILL_EXIT_CODE, JobRequest, JobResult
 
 __all__ = [
     "CACHEABLE_STATUSES",
+    "CacheServer",
+    "CacheUnavailable",
+    "ConnectionClosed",
+    "FleetCoordinator",
+    "FleetOptions",
+    "FleetOutcome",
+    "FleetUnavailable",
+    "FrameError",
+    "FramePolicy",
+    "FramedSocket",
+    "Job",
     "JobRequest",
     "JobResult",
     "KILL_EXIT_CODE",
     "ParallelOptions",
     "ParallelOutcome",
+    "ReadTimeout",
+    "RemoteCache",
     "ResultCache",
+    "TransportError",
     "WorkerSupervisor",
+    "atomic_write_text",
+    "backoff_delay",
+    "build_jobs",
     "cache_key",
     "code_version",
+    "fleet_worker_main",
+    "jitter_fraction",
+    "parse_address",
+    "run_fleet_checks",
     "run_parallel_checks",
+    "serve_cache_forever",
+    "serve_workers_forever",
+    "validate_entry",
 ]

@@ -118,6 +118,60 @@ def _checksum(payload: dict) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+def validate_entry(entry, key: str) -> Tuple[Optional[dict], Optional[str]]:
+    """Validate one raw cache entry against ``key``.
+
+    Returns ``(verdict_payload, None)`` on success or ``(None, reason)``
+    on rejection. This is the single validation chain for every consumer
+    of entries — the local :class:`ResultCache`, the cache *server*
+    (which refuses to serve bad entries), and the remote cache *client*
+    (which re-validates everything the server sends, so a corrupt or
+    version-skewed entry is rejected on both ends of the wire).
+    """
+    payload = entry.get("payload") if isinstance(entry, dict) else None
+    if not isinstance(payload, dict):
+        return None, "malformed entry: no payload object"
+    if entry.get("checksum") != _checksum(payload):
+        return None, "checksum mismatch (corrupted entry)"
+    if payload.get("code_version") != code_version():
+        return None, (
+            f"version skew: entry {payload.get('code_version')!r} "
+            f"vs current {code_version()!r}"
+        )
+    if payload.get("key") != key:
+        return None, "key mismatch (entry written for another job)"
+    verdict = payload.get("verdict")
+    if (
+        not isinstance(verdict, dict)
+        or verdict.get("status") not in CACHEABLE_STATUSES
+    ):
+        return None, "malformed entry: bad verdict"
+    return verdict, None
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp + rename.
+
+    The same durability discipline as cache entries: readers never see a
+    half-written file, and a crash mid-write leaves the previous version
+    intact.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, temp_path = tempfile.mkstemp(
+        prefix=f".{os.path.basename(path)}-", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
 def verdict_to_payload(verdict: "ImplVerdict") -> Optional[dict]:
     """The cacheable projection of a verdict, or None if not cacheable."""
     if verdict.status.value not in CACHEABLE_STATUSES:
@@ -228,12 +282,21 @@ class ResultCache:
     ``rejections`` records every entry that failed validation as
     ``(key, reason)`` pairs — the driver turns them into ``OL903``
     warnings so a flaky disk never silently flips a verdict.
+
+    ``max_bytes``, when set, bounds the on-disk size: after every store
+    the least-recently-*used* entries (by mtime — hits touch the file)
+    are evicted until the directory fits. Eviction only ever removes
+    entries, never ``summary.json`` or in-flight temp files, and an
+    evicted entry simply misses on the next run — verdicts are always
+    recomputable.
     """
 
     directory: str
+    max_bytes: Optional[int] = None
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
     rejections: List[Tuple[str, str]] = field(default_factory=list)
 
     def __post_init__(self):
@@ -249,41 +312,39 @@ class ResultCache:
     def load(self, key: str) -> Optional[dict]:
         """The validated payload for ``key``, or None (miss/rejected)."""
         path = self._path(key)
-        try:
-            with open(path) as handle:
-                entry = json.load(handle)
-        except FileNotFoundError:
-            self.misses += 1
+        entry, error = self.read_entry(key)
+        if entry is None:
+            if error is None:
+                self.misses += 1
+            else:
+                self._reject(key, error)
             return None
-        except (OSError, ValueError) as error:
-            self._reject(key, f"unreadable entry: {error}")
-            return None
-        payload = entry.get("payload") if isinstance(entry, dict) else None
-        if not isinstance(payload, dict):
-            self._reject(key, "malformed entry: no payload object")
-            return None
-        if entry.get("checksum") != _checksum(payload):
-            self._reject(key, "checksum mismatch (corrupted entry)")
-            return None
-        if payload.get("code_version") != code_version():
-            self._reject(
-                key,
-                f"version skew: entry {payload.get('code_version')!r} "
-                f"vs current {code_version()!r}",
-            )
-            return None
-        if payload.get("key") != key:
-            self._reject(key, "key mismatch (entry written for another job)")
-            return None
-        verdict = payload.get("verdict")
-        if (
-            not isinstance(verdict, dict)
-            or verdict.get("status") not in CACHEABLE_STATUSES
-        ):
-            self._reject(key, "malformed entry: bad verdict")
+        verdict, reason = validate_entry(entry, key)
+        if verdict is None:
+            self._reject(key, reason or "entry rejected")
             return None
         self.hits += 1
+        try:
+            os.utime(path)  # refresh recency so LRU eviction spares it
+        except OSError:
+            pass
         return verdict
+
+    def read_entry(self, key: str) -> Tuple[Optional[dict], Optional[str]]:
+        """The raw (unvalidated) entry for ``key``.
+
+        Returns ``(entry, None)``, ``(None, None)`` for a clean miss, or
+        ``(None, reason)`` when the file exists but cannot be read. Used
+        by the cache server, which serves raw entries and leaves final
+        validation to the client.
+        """
+        try:
+            with open(self._path(key)) as handle:
+                return json.load(handle), None
+        except FileNotFoundError:
+            return None, None
+        except (OSError, ValueError) as error:
+            return None, f"unreadable entry: {error}"
 
     def _reject(self, key: str, reason: str) -> None:
         self.misses += 1
@@ -327,17 +388,56 @@ class ResultCache:
             self.rejections.append((key, f"cache write failed: {error}"))
             return False
         self.stores += 1
+        if self.max_bytes is not None:
+            self._evict_to_budget()
         return True
+
+    def _evict_to_budget(self) -> None:
+        """Drop least-recently-used entries until the directory fits.
+
+        Best-effort by design: a concurrently-deleted file is simply
+        skipped (another process may be evicting too), and entries are
+        always recomputable, so racing readers at worst re-prove.
+        """
+        entries = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".json") or name == "summary.json":
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        budget = self.max_bytes or 0
+        for _, size, path in sorted(entries):
+            if total <= budget:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     def summary(self) -> dict:
-        return {
+        summary = {
             "directory": self.directory,
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
             "rejections": len(self.rejections),
         }
+        if self.max_bytes is not None:
+            summary["max_bytes"] = self.max_bytes
+            summary["evictions"] = self.evictions
+        return summary

@@ -1,0 +1,359 @@
+"""A shared result cache served over the fleet transport.
+
+The server wraps the same on-disk :class:`~repro.parallel.cache.ResultCache`
+(same SHA-256 key scheme, same checksummed entries, same LRU + max-bytes
+eviction) behind a socket, so many checker runs — on one machine or
+several — can warm each other's caches.
+
+Integrity is enforced on **both ends** of the wire:
+
+* the server validates an entry (checksum, version, key binding) before
+  serving it — a corrupt entry on the server's disk is reported as a
+  server-side rejection, never shipped;
+* the client re-validates everything it receives through the same
+  :func:`~repro.parallel.cache.validate_entry` chain — a frame that was
+  damaged in flight (or a lying server) is rejected locally and surfaces
+  as the same ``OL903`` warning a corrupt local entry would.
+
+Availability is strictly best-effort: :class:`RemoteCache` raises
+:class:`CacheUnavailable` only at *connect* time (the checker then
+degrades to the local cache with an ``OL904`` warning); once a run is
+underway any transport failure trips a circuit breaker — the remote
+cache silently becomes a zero-hit cache for the rest of the run, because
+a mid-run cache outage must never fail or stall proving.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import List, Optional, Tuple
+
+from repro.parallel.cache import (
+    ResultCache,
+    code_version,
+    validate_entry,
+)
+from repro.parallel.transport import (
+    ConnectionClosed,
+    FramedSocket,
+    FrameError,
+    ReadTimeout,
+    TransportError,
+    close_listener,
+    connect,
+    parse_address,
+    serve,
+)
+
+PROTOCOL = "oolong-cache-1"
+
+
+class CacheUnavailable(Exception):
+    """The cache server could not be reached (or rejected the client)."""
+
+
+class CacheServer:
+    """Serve one :class:`ResultCache` directory to many clients.
+
+    One thread per connection; the cache itself is guarded by a single
+    lock (requests are small and disk-bound, contention is not the
+    bottleneck at checker scale).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        address: Tuple[str, int] = ("127.0.0.1", 0),
+        *,
+        max_bytes: Optional[int] = None,
+        token: Optional[str] = None,
+    ):
+        self.cache = ResultCache(directory, max_bytes=max_bytes)
+        self.token = token
+        self._listener = serve(address)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._accept_thread: Optional[threading.Thread] = None
+        self._gets = 0
+        # evict-under-read is interpreted here: on the n-th *served* GET
+        # the entry's file is deleted after the read, modelling an
+        # eviction racing the reader (fault plans key it by the ordinal
+        # of successful reads, so cold misses do not shift the target).
+        from repro.testing.faults import supervisor_fault_hits
+
+        self._evict_under_read = supervisor_fault_hits("evict-under-read")
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def start(self) -> "CacheServer":
+        thread = threading.Thread(
+            target=self._accept_loop, name="cache-accept", daemon=True
+        )
+        thread.start()
+        self._accept_thread = thread
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        close_listener(self._listener)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "CacheServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            thread = threading.Thread(
+                target=self._serve_client,
+                args=(FramedSocket(sock),),
+                name="cache-client",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_client(self, channel: FramedSocket) -> None:
+        try:
+            try:
+                hello = channel.recv(timeout=5.0)
+            except TransportError:
+                return
+            if (
+                not isinstance(hello, tuple)
+                or len(hello) != 3
+                or hello[0] != "hello"
+                or hello[1] != PROTOCOL
+            ):
+                channel.send(("reject", "bad hello"))
+                return
+            if self.token is not None and hello[2] != self.token:
+                channel.send(("reject", "bad token"))
+                return
+            channel.send(("welcome", code_version()))
+            while not self._stop.is_set():
+                try:
+                    request = channel.recv(timeout=1.0)
+                except ReadTimeout:
+                    continue
+                except FrameError:
+                    continue  # damaged request: drop it, keep the stream
+                except ConnectionClosed:
+                    return
+                if not isinstance(request, tuple) or not request:
+                    continue
+                kind = request[0]
+                if kind == "bye":
+                    return
+                if kind == "get" and len(request) == 2:
+                    channel.send(self._handle_get(request[1]))
+                elif kind == "put" and len(request) == 5:
+                    _, key, payload, impl, index = request
+                    with self._lock:
+                        stored = self.cache.store(
+                            key, payload, impl=impl, index=index
+                        )
+                    channel.send(("ok", stored))
+                elif kind == "summary":
+                    with self._lock:
+                        channel.send(("summary", self.cache.summary()))
+                else:
+                    channel.send(("reject", f"unknown request {kind!r}"))
+        except TransportError:
+            pass
+        finally:
+            channel.close()
+
+    def _handle_get(self, key: str) -> tuple:
+        from repro.testing.faults import record_supervisor_fault
+
+        with self._lock:
+            entry, error = self.cache.read_entry(key)
+            if entry is not None:
+                verdict, reason = validate_entry(entry, key)
+                if verdict is None:
+                    # Refuse to serve a bad entry; the client records the
+                    # server-side reason as its own OL903 rejection.
+                    self.cache.rejections.append((key, reason or "rejected"))
+                    return ("miss", reason)
+                # The fault ordinal counts *served* reads only, so a
+                # plan's hit index is independent of how many cold
+                # misses preceded the warm traffic.
+                ordinal = self._gets
+                self._gets += 1
+                if ordinal in self._evict_under_read:
+                    record_supervisor_fault("evict-under-read", ordinal, "corrupt")
+                    try:
+                        os.unlink(self.cache._path(key))
+                    except OSError:
+                        pass
+                    self.cache.evictions += 1
+                    return ("miss", None)
+                self.cache.hits += 1
+                try:
+                    os.utime(self.cache._path(key))
+                except OSError:
+                    pass
+                return ("entry", entry)
+            self.cache.misses += 1
+            return ("miss", error)
+
+
+class RemoteCache:
+    """A :class:`ResultCache`-shaped client for a :class:`CacheServer`.
+
+    Drop-in for the checker's cache slot: same ``load``/``store``/
+    ``summary`` surface, same ``hits``/``misses``/``stores``/
+    ``rejections`` counters (counting *this client's* traffic). After a
+    mid-run transport failure the breaker trips (``degraded`` holds the
+    reason) and every later operation is a local no-op miss.
+    """
+
+    def __init__(self, channel: FramedSocket, url: str):
+        self._channel = channel
+        self.directory = f"remote:{url}"
+        self.url = url
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.rejections: List[Tuple[str, str]] = []
+        self.degraded: Optional[str] = None
+        self._lock = threading.Lock()
+
+    @classmethod
+    def connect(
+        cls,
+        url: str,
+        *,
+        timeout: float = 5.0,
+        token: Optional[str] = None,
+    ) -> "RemoteCache":
+        """Dial ``HOST:PORT`` and shake hands; raises CacheUnavailable."""
+        try:
+            address = parse_address(url)
+        except ValueError as exc:
+            raise CacheUnavailable(str(exc)) from exc
+        try:
+            channel = connect(address, timeout=timeout)
+        except TransportError as exc:
+            raise CacheUnavailable(f"cache server {url}: {exc}") from exc
+        try:
+            channel.send(("hello", PROTOCOL, token))
+            reply = channel.recv(timeout=timeout)
+        except TransportError as exc:
+            channel.close()
+            raise CacheUnavailable(f"cache server {url}: {exc}") from exc
+        if not (isinstance(reply, tuple) and reply and reply[0] == "welcome"):
+            channel.close()
+            reason = reply[1] if isinstance(reply, tuple) and len(reply) > 1 else reply
+            raise CacheUnavailable(f"cache server {url} rejected client: {reason}")
+        return cls(channel, url)
+
+    # ------------------------------------------------------------------
+
+    def _request(self, message: tuple, *, timeout: float = 10.0):
+        """One request/response round trip, tripping the breaker on failure."""
+        with self._lock:
+            if self.degraded is not None:
+                return None
+            try:
+                self._channel.send(message)
+                while True:
+                    reply = self._channel.recv(timeout=timeout)
+                    return reply
+            except FrameError as exc:
+                # The *response* was damaged in flight. The stream is
+                # still aligned, but request/response pairing is lost —
+                # safer to degrade than to mis-pair replies.
+                self.degraded = f"response frame rejected: {exc}"
+                return None
+            except TransportError as exc:
+                self.degraded = f"cache connection lost: {exc}"
+                return None
+
+    def load(self, key: str) -> Optional[dict]:
+        reply = self._request(("get", key))
+        if not (isinstance(reply, tuple) and reply):
+            self.misses += 1
+            return None
+        if reply[0] == "miss":
+            reason = reply[1] if len(reply) > 1 else None
+            self.misses += 1
+            if reason:
+                self.rejections.append((key, f"server-side: {reason}"))
+            return None
+        if reply[0] != "entry" or len(reply) != 2:
+            self.misses += 1
+            return None
+        verdict, reason = validate_entry(reply[1], key)
+        if verdict is None:
+            self.misses += 1
+            self.rejections.append((key, reason or "entry rejected"))
+            return None
+        self.hits += 1
+        return verdict
+
+    def store(self, key: str, verdict_payload: dict, *, impl: str, index: int) -> bool:
+        reply = self._request(("put", key, verdict_payload, impl, index))
+        if isinstance(reply, tuple) and len(reply) == 2 and reply[0] == "ok" and reply[1]:
+            self.stores += 1
+            return True
+        return False
+
+    def close(self) -> None:
+        with self._lock:
+            if self.degraded is None:
+                try:
+                    self._channel.send(("bye",))
+                except TransportError:
+                    pass
+        self._channel.close()
+
+    def summary(self) -> dict:
+        summary = {
+            "directory": self.directory,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "rejections": len(self.rejections),
+        }
+        if self.degraded is not None:
+            summary["degraded"] = self.degraded
+        return summary
+
+
+def serve_cache_forever(
+    directory: str,
+    address: Tuple[str, int],
+    *,
+    max_bytes: Optional[int] = None,
+    token: Optional[str] = None,
+) -> None:
+    """Blocking entry point for ``oolong-check cache serve``."""
+    server = CacheServer(directory, address, max_bytes=max_bytes, token=token)
+    server.start()
+    print(f"cache server listening on {server.url} (dir {directory})", flush=True)
+    try:
+        while True:
+            server._stop.wait(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()

@@ -36,18 +36,25 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from multiprocessing.connection import wait as connection_wait
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.diagnostics import Diagnostic
-from repro.oolong.ast import ImplDecl
 from repro.oolong.program import Scope
 from repro.parallel.cache import (
     ResultCache,
     cache_key,
     payload_to_verdict,
     verdict_to_payload,
+)
+from repro.parallel.jobs import (
+    Job as _Job,
+    backoff_delay,
+    build_jobs,
+    deadline_verdict,
+    hard_timeout_verdict,
+    quarantine_verdict,
 )
 from repro.parallel.worker import (
     HEARTBEAT_INTERVAL,
@@ -76,8 +83,12 @@ class ParallelOptions:
     #: ``INTERNAL_ERROR``/``OL902``.
     max_retries: int = 2
     #: Base of the exponential retry backoff (seconds): attempt *n*
-    #: waits ``backoff_base * 2**(n-1)``.
+    #: waits ``backoff_base * 2**(n-1)``, stretched by jitter.
     backoff_base: float = 0.05
+    #: Deterministic jitter fraction on the retry backoff (see
+    #: :func:`repro.parallel.jobs.backoff_delay`): simultaneous worker
+    #: deaths must not retry in lockstep. 0 disables it.
+    backoff_jitter: float = 0.5
     #: A worker whose heartbeat is older than this while a job is
     #: running is considered dead (frozen interpreter) and killed.
     heartbeat_timeout: float = 2.0
@@ -93,30 +104,6 @@ class ParallelOptions:
             return self.start_method
         methods = multiprocessing.get_all_start_methods()
         return "fork" if "fork" in methods else "spawn"
-
-
-@dataclass
-class _Job:
-    """One per-implementation proof obligation in the supervisor's book."""
-
-    job_id: int
-    proc_name: str
-    impl_index: int
-    impl: ImplDecl
-    key: Optional[str] = None
-    attempts: int = 0
-    #: Earliest monotonic time the next attempt may be scheduled
-    #: (exponential backoff after a worker death).
-    eligible_at: float = 0.0
-    death_reasons: List[str] = field(default_factory=list)
-    # Filled when the job completes:
-    verdict: Optional[object] = None
-    explain_crash: Optional[Diagnostic] = None
-    cache_hit: bool = False
-
-    @property
-    def done(self) -> bool:
-        return self.verdict is not None
 
 
 class _WorkerHandle:
@@ -188,22 +175,6 @@ class ParallelOutcome:
     #: present on return) and optional advisory explain-crash.
     jobs: List[_Job]
     cache: Optional[ResultCache] = None
-
-
-def build_jobs(scope: Scope) -> List[_Job]:
-    """The proof jobs in the serial driver's iteration order."""
-    jobs: List[_Job] = []
-    for proc_name, impls in scope.impls.items():
-        for index, impl in enumerate(impls):
-            jobs.append(
-                _Job(
-                    job_id=len(jobs),
-                    proc_name=proc_name,
-                    impl_index=index,
-                    impl=impl,
-                )
-            )
-    return jobs
 
 
 class WorkerSupervisor:
@@ -556,29 +527,17 @@ class WorkerSupervisor:
         if job.attempts > self.options.max_retries:
             self._quarantine(job)
             return
-        backoff = self.options.backoff_base * (2 ** (job.attempts - 1))
+        backoff = backoff_delay(
+            self.options.backoff_base,
+            job.attempts,
+            jitter=self.options.backoff_jitter,
+            token=f"job{job.job_id}",
+        )
         job.eligible_at = time.monotonic() + backoff
         queue.append(job)
 
     def _quarantine(self, job: _Job) -> None:
-        from repro.vcgen.checker import ImplStatus, ImplVerdict
-
-        attempts = job.attempts
-        history = "; ".join(job.death_reasons)
-        job.verdict = ImplVerdict(
-            impl=job.impl,
-            index=job.impl_index,
-            status=ImplStatus.INTERNAL_ERROR,
-            stats=ProverStats(),
-            error=Diagnostic(
-                code="OL902",
-                message=(
-                    f"worker died {attempts} time(s) running this "
-                    f"implementation ({history}); job quarantined"
-                ),
-                impl=job.impl.name,
-            ),
-        )
+        job.verdict = quarantine_verdict(job)
 
     def _police(self, queue, tracer, parent_span) -> None:
         """Detect deaths, lost heartbeats, and hard-timeout overruns."""
@@ -612,8 +571,6 @@ class WorkerSupervisor:
                 self._hard_timeout(worker)
 
     def _hard_timeout(self, worker) -> None:
-        from repro.vcgen.checker import ImplStatus, ImplVerdict
-
         job = worker.job
         worker.job = None
         worker.kill()
@@ -625,19 +582,10 @@ class WorkerSupervisor:
             if budget is not None
             else "scope time budget exhausted"
         )
-        job.verdict = ImplVerdict(
-            impl=job.impl,
-            index=job.impl_index,
-            status=ImplStatus.TIMED_OUT,
-            stats=ProverStats(),
-            error=Diagnostic(
-                code="OL901",
-                message=(
-                    f"{detail} while this implementation was being "
-                    f"checked; worker {worker.worker_id} killed"
-                ),
-                impl=job.impl.name,
-            ),
+        job.verdict = hard_timeout_verdict(
+            job,
+            f"{detail} while this implementation was being "
+            f"checked; worker {worker.worker_id} killed",
         )
 
     # ------------------------------------------------------------------
@@ -651,33 +599,15 @@ class WorkerSupervisor:
         were running report the mid-check ``OL901``, queued ones the
         before-check variant.
         """
-        from repro.vcgen.checker import (
-            ImplStatus,
-            ImplVerdict,
-            _deadline_diagnostic,
-        )
-
         for worker in self.workers:
             job = worker.job
             worker.job = None
             worker.kill()
             if job is not None and not job.done:
-                job.verdict = ImplVerdict(
-                    impl=job.impl,
-                    index=job.impl_index,
-                    status=ImplStatus.TIMED_OUT,
-                    stats=ProverStats(),
-                    error=_deadline_diagnostic(job.impl, before=False),
-                )
+                job.verdict = deadline_verdict(job, before=False)
         for job in queue:
             if not job.done:
-                job.verdict = ImplVerdict(
-                    impl=job.impl,
-                    index=job.impl_index,
-                    status=ImplStatus.TIMED_OUT,
-                    stats=ProverStats(),
-                    error=_deadline_diagnostic(job.impl, before=True),
-                )
+                job.verdict = deadline_verdict(job, before=True)
         queue.clear()
 
     def _shutdown_workers(self) -> None:

@@ -1,0 +1,327 @@
+"""Length-prefixed, checksummed message framing over sockets.
+
+Every message between the fleet coordinator, its workers, and the cache
+server travels as one *frame*:
+
+====== ======= ==========================================================
+bytes  field   meaning
+====== ======= ==========================================================
+0–3    magic   ``b"OLNG"`` — frame alignment marker
+4–7    length  payload size, big-endian uint32 (bounded by MAX_FRAME)
+8–15   check   first 8 bytes of ``sha256(payload)``, big-endian uint64
+16–    payload the pickled message
+====== ======= ==========================================================
+
+The checksum is an *integrity* check, not an authenticity one: it
+catches truncation, bit rot, and the ``corrupt-frame`` fault, all of
+which must surface as a recoverable :class:`FrameError` rather than a
+mis-parsed message. On a framing violation the receiver *resynchronizes*:
+it scans the buffered stream for the next magic marker and reports the
+skipped garbage, so one corrupt frame costs one message, not the
+connection. If no marker appears within a bounded window the stream is
+declared unrecoverable and the peer dropped (:class:`ConnectionClosed`).
+
+Payloads are pickled — the peers are trusted cooperating processes of
+the same checker installation (the same trust model as the fork-pipe
+supervisor this generalizes), and verdicts/AST nodes are already
+pickle-shaped from the PR-5 worker protocol. An optional shared token in
+the hello message keeps *accidental* cross-talk out; it is not an
+authentication scheme.
+
+:class:`FramePolicy` is the deterministic fault hook: the coordinator
+threads one through its outbound side so seeded plans can drop, delay,
+or corrupt the n-th frame on the wire (see
+:data:`repro.testing.faults.FLEET_STAGES`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import socket
+import struct
+import threading
+import time
+from typing import Any, Optional, Tuple
+
+MAGIC = b"OLNG"
+HEADER = struct.Struct(">4sIQ")
+#: Hard cap on a single payload. Large enough for a pickled scope plus
+#: grafted span trees, small enough that a corrupted length field cannot
+#: make the receiver allocate unboundedly.
+MAX_FRAME = 64 * 1024 * 1024
+#: How many bytes of garbage the resync scan will chew through before
+#: giving the stream up as unrecoverable.
+MAX_RESYNC = 4 * MAX_FRAME
+
+
+class TransportError(Exception):
+    """Base class for framing-layer failures."""
+
+
+class ConnectionClosed(TransportError):
+    """The peer is gone (EOF, reset, or an unrecoverable stream)."""
+
+
+class FrameError(TransportError):
+    """One frame was rejected (bad checksum, bad length, garbage bytes)
+    but the stream was resynchronized — the caller may simply ``recv``
+    again for the next frame."""
+
+
+class ReadTimeout(TransportError):
+    """No complete frame arrived within the caller's deadline."""
+
+
+def checksum64(payload: bytes) -> int:
+    """The 64-bit integrity check carried in every frame header."""
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+
+def encode_frame(message: Any) -> bytes:
+    """Pickle ``message`` and wrap it in a frame header."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME:
+        raise TransportError(
+            f"message of {len(payload)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    return HEADER.pack(MAGIC, len(payload), checksum64(payload)) + payload
+
+
+def parse_address(spec: str) -> Tuple[str, int]:
+    """Parse ``host:port`` (or ``:port`` / bare ``port``) into a pair."""
+    text = spec.strip()
+    if text.startswith("tcp://"):
+        text = text[len("tcp://"):]
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        host, port_text = "", text
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"bad address {spec!r}: expected HOST:PORT with a numeric port"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"bad address {spec!r}: port out of range")
+    return host, port
+
+
+class FramePolicy:
+    """Deterministic outbound-frame faults (drop / delay / corrupt).
+
+    Interprets the active :class:`~repro.testing.faults.FaultPlan`'s
+    ``drop-frame`` / ``delay-frame`` / ``corrupt-frame`` stages against a
+    single global ordinal of frames sent through sockets carrying this
+    policy — the coordinator installs one policy across all its worker
+    connections, so "corrupt frame #3" names the third frame the
+    coordinator puts on *any* wire, independent of which worker it goes
+    to.
+    """
+
+    def __init__(self):
+        from repro.testing.faults import supervisor_fault_hits
+
+        self._drop = supervisor_fault_hits("drop-frame")
+        self._delay = supervisor_fault_hits("delay-frame")
+        self._corrupt = supervisor_fault_hits("corrupt-frame")
+        self._lock = threading.Lock()
+        self._ordinal = 0
+
+    def apply(self, frame: bytes) -> Optional[bytes]:
+        """Transform one outbound frame; ``None`` means "do not send"."""
+        from repro.testing.faults import record_supervisor_fault
+
+        with self._lock:
+            ordinal = self._ordinal
+            self._ordinal += 1
+        if ordinal in self._drop:
+            record_supervisor_fault("drop-frame", ordinal, "drop")
+            return None
+        if ordinal in self._delay:
+            fault = self._delay[ordinal]
+            record_supervisor_fault("delay-frame", ordinal, "delay")
+            time.sleep(fault.delay or 0.01)
+        if ordinal in self._corrupt:
+            record_supervisor_fault("corrupt-frame", ordinal, "corrupt")
+            # Flip payload bytes but keep the header intact: the frame
+            # stays aligned on the wire, so the receiver must detect the
+            # damage by checksum, reject the frame, and keep the stream.
+            header, payload = frame[: HEADER.size], frame[HEADER.size :]
+            mangled = bytes(b ^ 0xFF for b in payload[:16]) + payload[16:]
+            return header + mangled
+        return frame
+
+
+class FramedSocket:
+    """A message-oriented wrapper around one connected stream socket.
+
+    ``send`` and ``recv`` are each locked, so one writer thread and one
+    reader thread may share the object (the fleet's usage pattern);
+    concurrent senders serialize cleanly.
+    """
+
+    def __init__(self, sock: socket.socket, policy: Optional[FramePolicy] = None):
+        self.sock = sock
+        self.policy = policy
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._pending = b""
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # e.g. AF_UNIX
+
+    # -- sending ---------------------------------------------------------
+
+    def send(self, message: Any) -> bool:
+        """Frame and send one message; False if a fault dropped it."""
+        frame = encode_frame(message)
+        if self.policy is not None:
+            applied = self.policy.apply(frame)
+            if applied is None:
+                return False
+            frame = applied
+        with self._send_lock:
+            try:
+                self.sock.sendall(frame)
+            except (OSError, ValueError) as exc:
+                raise ConnectionClosed(f"send failed: {exc}") from exc
+        return True
+
+    # -- receiving -------------------------------------------------------
+
+    def recv(self, timeout: Optional[float] = None) -> Any:
+        """Receive one message.
+
+        Raises :class:`ReadTimeout` if no complete frame arrives in
+        ``timeout`` seconds, :class:`FrameError` if a frame was rejected
+        (stream already resynchronized — call again), and
+        :class:`ConnectionClosed` on EOF or an unrecoverable stream.
+        """
+        with self._recv_lock:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            header = self._recv_exact(HEADER.size, deadline)
+            magic, length, expected = HEADER.unpack(header)
+            if magic != MAGIC or length > MAX_FRAME:
+                self._resync(deadline)
+                raise FrameError(
+                    "frame header rejected "
+                    f"(magic={magic!r}, length={length}); resynchronized"
+                )
+            payload = self._recv_exact(length, deadline)
+            if checksum64(payload) != expected:
+                # Header framed correctly, so the stream is still aligned:
+                # no resync needed, just reject the damaged message.
+                raise FrameError("frame checksum mismatch; frame discarded")
+            try:
+                return pickle.loads(payload)
+            except Exception as exc:
+                raise FrameError(f"frame payload undecodable: {exc}") from exc
+
+    def _recv_exact(self, count: int, deadline: Optional[float]) -> bytes:
+        """Consume exactly ``count`` bytes from pending + the socket."""
+        while len(self._pending) < count:
+            try:
+                if deadline is None:
+                    self.sock.settimeout(None)
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise ReadTimeout("read deadline exceeded")
+                    self.sock.settimeout(remaining)
+                chunk = self.sock.recv(65536)
+            except socket.timeout:
+                raise ReadTimeout("read deadline exceeded") from None
+            except (OSError, ValueError) as exc:
+                raise ConnectionClosed(f"recv failed: {exc}") from exc
+            if not chunk:
+                raise ConnectionClosed("peer closed the connection")
+            self._pending += chunk
+        data, self._pending = self._pending[:count], self._pending[count:]
+        return data
+
+    def _resync(self, deadline: Optional[float]) -> None:
+        """Scan forward for the next magic marker, bounded by MAX_RESYNC."""
+        skipped = 0
+        while True:
+            index = self._pending.find(MAGIC)
+            if index >= 0:
+                skipped += index
+                self._pending = self._pending[index:]
+                return
+            # Keep a magic-sized tail in case the marker straddles reads.
+            keep = len(MAGIC) - 1
+            skipped += max(len(self._pending) - keep, 0)
+            self._pending = self._pending[-keep:] if keep else b""
+            if skipped > MAX_RESYNC:
+                raise ConnectionClosed(
+                    f"no frame marker within {skipped} bytes; stream unrecoverable"
+                )
+            try:
+                data = self._recv_exact(len(self._pending) + 1, deadline)
+            except ReadTimeout:
+                raise ConnectionClosed(
+                    "stream desynchronized and no marker arrived in time"
+                ) from None
+            # _recv_exact removed what it returned from the buffer; put
+            # it back in stream order so the scan sees every byte.
+            self._pending = data + self._pending
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def connect(
+    address: Tuple[str, int],
+    *,
+    timeout: float = 5.0,
+    policy: Optional[FramePolicy] = None,
+) -> FramedSocket:
+    """Dial ``address`` and wrap the connection."""
+    try:
+        sock = socket.create_connection(address, timeout=timeout)
+    except OSError as exc:
+        raise ConnectionClosed(f"connect to {address} failed: {exc}") from exc
+    sock.settimeout(None)
+    return FramedSocket(sock, policy=policy)
+
+
+def serve(address: Tuple[str, int], *, backlog: int = 64) -> socket.socket:
+    """Bind a listening socket at ``address`` (port 0 = ephemeral)."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        sock.bind(address)
+        sock.listen(backlog)
+    except OSError as exc:
+        sock.close()
+        raise ConnectionClosed(f"bind to {address} failed: {exc}") from exc
+    return sock
+
+
+def close_listener(sock: socket.socket) -> None:
+    """Close a listening socket so a blocked ``accept()`` wakes *now*.
+
+    A plain ``close()`` does not interrupt another thread already parked
+    in ``accept()`` — it stays in the kernel until a peer connects, and
+    every shutdown pays the accept-thread join timeout in full. A
+    ``shutdown(SHUT_RDWR)`` first wakes the accept immediately (EINVAL on
+    Linux, caught by the accept loop's OSError handler).
+    """
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass

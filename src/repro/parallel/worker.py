@@ -222,3 +222,10 @@ def _run_job(scope, request: JobRequest, stop_event) -> Optional[JobResult]:
                 )
             ),
         )
+
+
+#: Public name for the job executor: the fleet worker
+#: (:func:`repro.parallel.fleet.fleet_worker_main`) runs the exact same
+#: code per job as a pipe worker, so injected ``kill``/``hang`` faults
+#: and verdict semantics are identical across transports.
+run_job = _run_job

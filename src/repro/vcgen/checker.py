@@ -120,6 +120,10 @@ class CheckReport:
     #: enabled. Like ``cache_summary``, *not* part of ``to_dict`` — the
     #: report stays verdict-identical with discharge on or off.
     discharge_summary: Optional[dict] = None
+    #: Fleet lease/steal/membership counters, set when ``fleet`` was
+    #: given. Like the other summaries, *not* part of ``to_dict`` — a
+    #: fleet report stays byte-identical to a serial one.
+    fleet_summary: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -327,7 +331,10 @@ def check_scope(
     lint: bool = True,
     explain: bool = False,
     parallel: Optional[int] = None,
+    fleet=None,
     cache_dir: Optional[str] = None,
+    cache_url: Optional[str] = None,
+    cache_max_bytes: Optional[int] = None,
     job_timeout: Optional[float] = None,
     max_retries: int = 2,
     static_discharge: str = "off",
@@ -367,6 +374,25 @@ def check_scope(
     in declaration order — the report is byte-identical to a serial run
     modulo wall-clock fields. ``parallel=None`` (default) checks
     serially in-process.
+
+    ``fleet`` checks implementations on a socket worker fleet
+    (:mod:`repro.parallel.fleet`): an integer spawns that many local
+    socket workers, ``"HOST:PORT"`` binds a coordinator there for
+    externally started workers (``oolong-check workers serve``), and a
+    :class:`~repro.parallel.fleet.FleetOptions` gives full control.
+    Jobs are leased with renewable deadlines; expired leases are
+    reclaimed and retried with jittered backoff, then quarantined as
+    ``OL902`` exactly like the local path. If the fleet cannot be
+    assembled — or collapses mid-run — the checker **degrades** to the
+    local supervisor with an ``OL904`` warning instead of failing; the
+    merged report is byte-identical either way.
+
+    ``cache_url`` points at a shared cache server
+    (:mod:`repro.parallel.cacheserver`); entries are checksum-validated
+    on both ends (bad ones rejected as ``OL903``), and an unreachable
+    server degrades to the local ``cache_dir`` (or no cache) with an
+    ``OL904`` warning. ``cache_max_bytes`` bounds the local cache
+    directory with LRU eviction.
 
     ``cache_dir`` enables the crash-safe incremental result cache
     (:mod:`repro.parallel.cache`): deterministic verdicts are keyed by a
@@ -417,12 +443,23 @@ def check_scope(
             lint=lint,
             explain=explain,
             parallel=parallel,
+            fleet=fleet,
             cache_dir=cache_dir,
+            cache_url=cache_url,
+            cache_max_bytes=cache_max_bytes,
             job_timeout=job_timeout,
             max_retries=max_retries,
             static_discharge=static_discharge,
             check_discharge=check_discharge,
         )
+
+
+def _fleet_degraded_diagnostic(detail: str) -> Diagnostic:
+    return Diagnostic(
+        code="OL904",
+        message=f"{detail}; degraded to local checking",
+        severity=Severity.WARNING,
+    )
 
 
 def _check_scope_traced(
@@ -433,7 +470,10 @@ def _check_scope_traced(
     lint: bool,
     explain: bool = False,
     parallel: Optional[int] = None,
+    fleet=None,
     cache_dir: Optional[str] = None,
+    cache_url: Optional[str] = None,
+    cache_max_bytes: Optional[int] = None,
     job_timeout: Optional[float] = None,
     max_retries: int = 2,
     static_discharge: str = "off",
@@ -523,14 +563,44 @@ def _check_scope_traced(
             _record_discharge_metrics(discharge)
 
     cache = None
-    if cache_dir is not None and not explain:
-        from repro.parallel.cache import ResultCache
-
+    remote_cache = None
+    if not explain:
         # Explain runs bypass the cache: explanations are never cached,
         # so a hit would silently drop the requested blame report.
-        cache = ResultCache(cache_dir)
+        if cache_url is not None:
+            from repro.parallel.cacheserver import (
+                CacheUnavailable,
+                RemoteCache,
+            )
 
-    if parallel is not None:
+            try:
+                cache = remote_cache = RemoteCache.connect(cache_url)
+            except CacheUnavailable as exc:
+                report.diagnostics.append(
+                    _fleet_degraded_diagnostic(
+                        f"shared result cache unreachable ({exc})"
+                    )
+                )
+        if cache is None and cache_dir is not None:
+            from repro.parallel.cache import ResultCache
+
+            cache = ResultCache(cache_dir, max_bytes=cache_max_bytes)
+
+    if fleet is not None:
+        _check_impls_fleet(
+            scope,
+            limits,
+            deadline,
+            report,
+            fleet=fleet,
+            cache=cache,
+            job_timeout=job_timeout,
+            max_retries=max_retries,
+            explain=explain,
+            discharge=discharge,
+            check_discharge=check_discharge,
+        )
+    elif parallel is not None:
         _check_impls_parallel(
             scope,
             limits,
@@ -558,6 +628,15 @@ def _check_scope_traced(
     if cache is not None:
         report.diagnostics.extend(_cache_rejection_diagnostics(cache))
         report.cache_summary = cache.summary()
+    if remote_cache is not None:
+        if remote_cache.degraded is not None:
+            report.diagnostics.append(
+                _fleet_degraded_diagnostic(
+                    f"shared result cache lost mid-run "
+                    f"({remote_cache.degraded})"
+                )
+            )
+        remote_cache.close()
     report.elapsed = time.monotonic() - start
     return report
 
@@ -786,23 +865,179 @@ def _check_impls_parallel(
         scope_deadline=deadline,
         preresolved=preresolved,
     )
-    # Merge in job (declaration) order, independent of completion order.
-    for job in outcome.jobs:
+    _merge_outcome_jobs(
+        report,
+        outcome.jobs,
+        discharge,
+        check_discharge,
+        discharged_keys=frozenset(preresolved),
+    )
+
+
+def _merge_outcome_jobs(
+    report: CheckReport,
+    jobs,
+    discharge,
+    check_discharge: bool,
+    *,
+    discharged_keys: frozenset,
+    extra_cache_hits: frozenset = frozenset(),
+) -> None:
+    """Merge a backend's completed jobs in job (declaration) order.
+
+    Shared by the local supervisor and fleet paths so both report the
+    same diagnostics and metrics for the same jobs. ``discharged_keys``
+    names the jobs whose verdicts came from static discharge (as opposed
+    to other preresolution, e.g. a degraded fleet's completed jobs);
+    ``extra_cache_hits`` marks jobs served from cache by an earlier,
+    abandoned backend run.
+    """
+    for job in jobs:
         if job.explain_crash is not None:
             report.diagnostics.append(job.explain_crash)
+        key = (job.verdict.impl.name, job.verdict.index)
         entry = _discharge_entry(discharge, job.verdict.impl, job.verdict.index)
         if entry is not None:
-            if (job.verdict.impl.name, job.verdict.index) in preresolved:
+            if key in discharged_keys:
                 _emit_discharge_findings(report, discharge, entry)
             elif check_discharge:
                 _compare_discharge(report, discharge, entry, job.verdict)
         _record_verdict_metrics(
             job.verdict,
-            cache_hit=job.cache_hit,
-            discharged=(job.verdict.impl.name, job.verdict.index)
-            in preresolved,
+            cache_hit=job.cache_hit or key in extra_cache_hits,
+            discharged=key in discharged_keys,
         )
         report.verdicts.append(job.verdict)
+
+
+def _check_impls_fleet(
+    scope: Scope,
+    limits: Optional[Limits],
+    deadline: Optional[float],
+    report: CheckReport,
+    *,
+    fleet,
+    cache,
+    job_timeout: Optional[float],
+    max_retries: int,
+    explain: bool,
+    discharge=None,
+    check_discharge: bool = False,
+) -> None:
+    """The distributed path: lease jobs to a socket fleet, degrade local.
+
+    Degradation is total-order safe: whatever the fleet *did* finish is
+    carried into the local supervisor as preresolved verdicts, so no job
+    is ever proved twice or lost, and the merged report is identical to
+    what any other backend would have produced.
+    """
+    from repro.parallel.fleet import (
+        FleetOptions,
+        FleetUnavailable,
+        run_fleet_checks,
+    )
+    from repro.parallel.supervisor import ParallelOptions, run_parallel_checks
+
+    preresolved = {}
+    if discharge is not None and not check_discharge:
+        for impls in scope.impls.values():
+            for index, impl in enumerate(impls):
+                entry = _discharge_entry(discharge, impl, index)
+                if entry is not None:
+                    preresolved[(impl.name, index)] = _discharged_verdict(
+                        impl, index, entry
+                    )
+    discharged_keys = frozenset(preresolved)
+
+    options = FleetOptions.from_spec(
+        fleet, job_timeout=job_timeout, max_retries=max_retries
+    )
+    outcome = None
+    try:
+        outcome = run_fleet_checks(
+            scope,
+            limits,
+            options=options,
+            explain=explain,
+            cache=cache,
+            scope_deadline=deadline,
+            preresolved=preresolved,
+        )
+    except FleetUnavailable as exc:
+        report.diagnostics.append(
+            _fleet_degraded_diagnostic(f"fleet unavailable ({exc})")
+        )
+        report.fleet_summary = {"degraded": str(exc)}
+
+    if outcome is not None:
+        report.fleet_summary = dict(outcome.summary)
+        if outcome.degraded is None:
+            _merge_outcome_jobs(
+                report,
+                outcome.jobs,
+                discharge,
+                check_discharge,
+                discharged_keys=discharged_keys,
+            )
+            return
+        report.diagnostics.append(
+            _fleet_degraded_diagnostic(outcome.degraded)
+        )
+        report.fleet_summary["degraded"] = outcome.degraded
+        # Carry everything the fleet completed into the local rerun as
+        # preresolved verdicts; remember which of those were cache hits
+        # so the metrics stay truthful.
+        extra_hits = set()
+        for job in outcome.jobs:
+            if job.done:
+                key = (job.proc_name, job.impl_index)
+                preresolved[key] = job.verdict
+                if job.cache_hit:
+                    extra_hits.add(key)
+        local = run_parallel_checks(
+            scope,
+            limits,
+            options=ParallelOptions(
+                jobs=max(options.workers, 1) if options.workers else 2,
+                job_timeout=job_timeout,
+                max_retries=max_retries,
+            ),
+            explain=explain,
+            cache=cache,
+            scope_deadline=deadline,
+            preresolved=preresolved,
+        )
+        _merge_outcome_jobs(
+            report,
+            local.jobs,
+            discharge,
+            check_discharge,
+            discharged_keys=discharged_keys,
+            extra_cache_hits=frozenset(extra_hits),
+        )
+        return
+
+    # Fleet never assembled: run everything on the local supervisor.
+    local = run_parallel_checks(
+        scope,
+        limits,
+        options=ParallelOptions(
+            jobs=max(options.workers, 1) if options.workers else 2,
+            job_timeout=job_timeout,
+            max_retries=max_retries,
+        ),
+        explain=explain,
+        cache=cache,
+        scope_deadline=deadline,
+        preresolved=preresolved,
+    )
+    _merge_outcome_jobs(
+        report,
+        local.jobs,
+        discharge,
+        check_discharge,
+        discharged_keys=discharged_keys,
+    )
 
 
 def _cache_rejection_diagnostics(cache) -> List[Diagnostic]:

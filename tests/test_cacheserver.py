@@ -1,0 +1,226 @@
+"""The shared result-cache server and its partition-tolerant client.
+
+The contract: a :class:`RemoteCache` is a drop-in for the checker's
+cache slot — same keys, same validation (run on *both* ends of the
+wire), same ``OL903`` rejection surface — while availability failures
+never fail a run: an unreachable server degrades to local checking with
+``OL904`` at connect time, and a mid-run loss trips a circuit breaker
+that turns the rest of the run into cache misses.
+"""
+
+import os
+
+import pytest
+
+from repro.corpus.generators import generate_impl_farm
+from repro.oolong.ast import ImplDecl
+from repro.oolong.program import Scope
+from repro.oolong.wellformed import check_well_formed
+from repro.parallel import FleetOptions
+from repro.parallel.cache import cache_key, verdict_to_payload
+from repro.parallel.cacheserver import (
+    CacheServer,
+    CacheUnavailable,
+    RemoteCache,
+)
+from repro.prover.core import Limits
+from repro.testing.faults import Fault, FaultPlan, inject
+from repro.vcgen.checker import ImplStatus, check_scope
+
+LIMITS = Limits(time_budget=60.0)
+
+GOOD = """
+group data
+field payload in data
+proc touch(t) modifies t.data
+impl touch(t) { assume t != null ; t.payload := 1 }
+"""
+
+
+def _scope(source=GOOD):
+    scope = Scope.from_source(source)
+    check_well_formed(scope)
+    return scope
+
+
+def _farm_scope(impls=3, fields=3):
+    return _scope(generate_impl_farm(impls, fields))
+
+
+def _verified_payload(scope):
+    report = check_scope(scope, LIMITS)
+    verdict = report.verdicts[0]
+    assert verdict.status is ImplStatus.VERIFIED
+    payload = verdict_to_payload(verdict)
+    assert payload is not None
+    return payload
+
+
+def _impl(scope):
+    return next(decl for decl in scope.decls if isinstance(decl, ImplDecl))
+
+
+class TestProtocol:
+    def test_store_then_load_round_trips(self, tmp_path):
+        scope = _scope()
+        payload = _verified_payload(scope)
+        key = cache_key(scope, _impl(scope), 0, LIMITS)
+        with CacheServer(str(tmp_path)) as server:
+            client = RemoteCache.connect(server.url)
+            assert client.load(key) is None  # cold miss
+            assert client.store(key, payload, impl="touch", index=0)
+            assert client.load(key) == payload
+            assert client.summary()["hits"] == 1
+            assert client.summary()["stores"] == 1
+            client.close()
+        assert server.cache.stores == 1
+
+    def test_entries_land_in_the_served_directory(self, tmp_path):
+        scope = _scope()
+        payload = _verified_payload(scope)
+        key = cache_key(scope, _impl(scope), 0, LIMITS)
+        with CacheServer(str(tmp_path)) as server:
+            client = RemoteCache.connect(server.url)
+            client.store(key, payload, impl="touch", index=0)
+            client.close()
+        assert (tmp_path / f"{key}.json").exists()
+
+    def test_token_mismatch_is_unavailable(self, tmp_path):
+        with CacheServer(str(tmp_path), token="s3cret") as server:
+            with pytest.raises(CacheUnavailable):
+                RemoteCache.connect(server.url, token="wrong")
+            client = RemoteCache.connect(server.url, token="s3cret")
+            client.close()
+
+    def test_unreachable_server_is_unavailable(self):
+        with pytest.raises(CacheUnavailable):
+            RemoteCache.connect("127.0.0.1:1", timeout=0.5)
+
+    def test_server_side_corruption_is_rejected_not_served(self, tmp_path):
+        scope = _scope()
+        payload = _verified_payload(scope)
+        key = cache_key(scope, _impl(scope), 0, LIMITS)
+        with CacheServer(str(tmp_path)) as server:
+            client = RemoteCache.connect(server.url)
+            client.store(key, payload, impl="touch", index=0)
+            victim = tmp_path / f"{key}.json"
+            data = victim.read_bytes()
+            victim.write_bytes(data[: len(data) // 2] + b"\x00X\x00")
+            assert client.load(key) is None
+            assert client.rejections
+            assert "server-side" in client.rejections[0][1]
+            client.close()
+
+    def test_mid_run_loss_trips_the_breaker(self, tmp_path):
+        scope = _scope()
+        payload = _verified_payload(scope)
+        key = cache_key(scope, _impl(scope), 0, LIMITS)
+        server = CacheServer(str(tmp_path)).start()
+        client = RemoteCache.connect(server.url)
+        client.store(key, payload, impl="touch", index=0)
+        server.stop()
+        # The next operation fails on the wire: the breaker must trip
+        # and every later operation become a silent local miss.
+        assert client.load(key) is None
+        assert client.degraded is not None
+        assert client.load(key) is None
+        assert client.store(key, payload, impl="touch", index=0) is False
+        assert "degraded" in client.summary()
+        client.close()
+
+    def test_server_lru_eviction_bounds_the_directory(self, tmp_path):
+        scope = _farm_scope(4, 8)
+        report = check_scope(scope, LIMITS)
+        payloads = [
+            (cache_key(scope, v.impl, v.index, LIMITS), verdict_to_payload(v))
+            for v in report.verdicts
+        ]
+        one_entry = 2048  # generous upper bound for one farm entry
+        with CacheServer(str(tmp_path), max_bytes=one_entry) as server:
+            client = RemoteCache.connect(server.url)
+            for key, payload in payloads:
+                assert client.store(key, payload, impl="farm", index=0)
+            client.close()
+        assert server.cache.evictions >= 1
+        remaining = [
+            name
+            for name in os.listdir(tmp_path)
+            if name.endswith(".json") and name != "summary.json"
+        ]
+        assert len(remaining) < len(payloads)
+
+
+class TestCheckerIntegration:
+    def test_shared_cache_warms_across_runs(self, tmp_path):
+        scope = _farm_scope()
+        with CacheServer(str(tmp_path)) as server:
+            cold = check_scope(scope, LIMITS, cache_url=server.url)
+            warm = check_scope(scope, LIMITS, cache_url=server.url)
+        assert cold.cache_summary["stores"] == len(cold.verdicts)
+        assert warm.cache_summary["hits"] == len(warm.verdicts)
+        assert [v.status for v in cold.verdicts] == [
+            v.status for v in warm.verdicts
+        ]
+
+    def test_shared_cache_warms_across_transports(self, tmp_path):
+        scope = _farm_scope()
+        with CacheServer(str(tmp_path)) as server:
+            cold = check_scope(scope, LIMITS, cache_url=server.url)
+            warm = check_scope(
+                scope,
+                LIMITS,
+                cache_url=server.url,
+                fleet=FleetOptions(workers=2, registration_wait=30.0),
+            )
+        assert cold.cache_summary["stores"] == len(cold.verdicts)
+        assert warm.cache_summary["hits"] == len(warm.verdicts)
+
+    def test_corrupt_entry_surfaces_as_ol903_and_recomputes(self, tmp_path):
+        scope = _farm_scope()
+        with CacheServer(str(tmp_path)) as server:
+            check_scope(scope, LIMITS, cache_url=server.url)
+            victim = sorted(tmp_path.glob("*.json"))[0]
+            data = victim.read_bytes()
+            victim.write_bytes(
+                data[: len(data) // 2] + b"\x00GARBAGE\x00" + data[len(data) // 2 :]
+            )
+            report = check_scope(scope, LIMITS, cache_url=server.url)
+        assert report.ok
+        rejections = [d for d in report.diagnostics if d.code == "OL903"]
+        assert len(rejections) == 1
+        assert report.cache_summary["hits"] == len(report.verdicts) - 1
+
+    def test_evict_under_read_recomputes(self, tmp_path):
+        scope = _farm_scope()
+        serial = check_scope(scope, LIMITS)
+        plan = FaultPlan((Fault("evict-under-read", "corrupt", hit=0),))
+        with inject(plan) as injector:
+            # The server interprets the fault plan, so it must be built
+            # while the plan is active.
+            with CacheServer(str(tmp_path)) as server:
+                check_scope(scope, LIMITS, cache_url=server.url)
+                report = check_scope(scope, LIMITS, cache_url=server.url)
+        assert ("evict-under-read", 0, "corrupt") in injector.fired
+        assert server.cache.evictions >= 1
+        assert [v.status for v in report.verdicts] == [
+            v.status for v in serial.verdicts
+        ]
+        # The evicted entry was a miss, recomputed, and re-published.
+        assert report.cache_summary["hits"] == len(report.verdicts) - 1
+        assert report.cache_summary["stores"] == 1
+
+    def test_unreachable_server_degrades_with_ol904(self, tmp_path):
+        scope = _scope()
+        report = check_scope(
+            scope,
+            LIMITS,
+            cache_url="127.0.0.1:1",
+            cache_dir=str(tmp_path / "local"),
+        )
+        assert report.ok
+        degraded = [d for d in report.diagnostics if d.code == "OL904"]
+        assert len(degraded) == 1
+        assert "cache unreachable" in degraded[0].message
+        # The local --cache-dir fallback still ran.
+        assert report.cache_summary["stores"] == len(report.verdicts)
+        assert report.cache_summary["directory"] == str(tmp_path / "local")

@@ -11,15 +11,19 @@ below the checker driver.
 import json
 import os
 
+import pytest
+
 from repro.oolong.ast import ImplDecl
 from repro.oolong.program import Scope
 from repro.parallel.cache import (
     CACHEABLE_STATUSES,
     ResultCache,
     _checksum,
+    atomic_write_text,
     cache_key,
     code_version,
     payload_to_verdict,
+    validate_entry,
     verdict_to_payload,
 )
 from repro.prover.core import Limits, ProverStats
@@ -193,6 +197,141 @@ class TestEntries:
         assert any(
             "key mismatch" in reason for _, reason in cache.rejections
         )
+
+
+class TestValidateEntry:
+    """The shared validation chain used by the local cache, the cache
+    server (before serving), and the remote client (after receiving)."""
+
+    def _entry(self, tmp_path):
+        scope = _scope()
+        _, payload = _verified_payload(scope)
+        cache = ResultCache(str(tmp_path))
+        key = cache_key(scope, _impl(scope), 0, LIMITS)
+        cache.store(key, payload, impl="touch", index=0)
+        entry = json.loads((tmp_path / f"{key}.json").read_text())
+        return entry, key, payload
+
+    def test_valid_entry_passes(self, tmp_path):
+        entry, key, payload = self._entry(tmp_path)
+        verdict, reason = validate_entry(entry, key)
+        assert reason is None
+        assert verdict == payload
+
+    def test_non_dict_and_payloadless_entries_rejected(self):
+        for junk in (None, 17, [], {"checksum": "x"}):
+            verdict, reason = validate_entry(junk, "0" * 64)
+            assert verdict is None
+            assert "no payload" in reason
+
+    def test_checksum_mismatch_rejected(self, tmp_path):
+        entry, key, _ = self._entry(tmp_path)
+        entry["payload"]["index"] = 99
+        verdict, reason = validate_entry(entry, key)
+        assert verdict is None
+        assert "checksum" in reason
+
+    def test_wrong_key_rejected(self, tmp_path):
+        entry, _, _ = self._entry(tmp_path)
+        verdict, reason = validate_entry(entry, "f" * 64)
+        assert verdict is None
+        assert "key mismatch" in reason
+
+    def test_uncacheable_status_rejected(self, tmp_path):
+        entry, key, _ = self._entry(tmp_path)
+        entry["payload"]["verdict"]["status"] = "timed out"
+        entry["checksum"] = _checksum(entry["payload"])
+        verdict, reason = validate_entry(entry, key)
+        assert verdict is None
+        assert "bad verdict" in reason
+
+
+class TestSizeBound:
+    def _farm_entries(self, count=4):
+        """Distinct (key, payload) pairs from one small checked scope."""
+        from repro.corpus.generators import generate_impl_farm
+
+        scope = _scope(generate_impl_farm(count, 6))
+        report = check_scope(scope, LIMITS)
+        return [
+            (cache_key(scope, v.impl, v.index, LIMITS), verdict_to_payload(v))
+            for v in report.verdicts
+        ]
+
+    def test_store_evicts_oldest_beyond_budget(self, tmp_path):
+        entries = self._farm_entries()
+        # Budget for roughly one entry: every store beyond the first
+        # must evict, oldest first.
+        cache = ResultCache(str(tmp_path), max_bytes=2048)
+        for index, (key, payload) in enumerate(entries):
+            assert cache.store(key, payload, impl="farm", index=index)
+            path = tmp_path / f"{key}.json"
+            os.utime(path, (index, index))  # deterministic recency order
+            cache._evict_to_budget()
+        assert cache.evictions >= 1
+        survivors = [n for n in os.listdir(tmp_path) if n.endswith(".json")]
+        # The newest entry always survives; eviction consumed the oldest
+        # first, so whatever fits beyond it is a suffix of the store order.
+        assert f"{entries[-1][0]}.json" in survivors
+        assert f"{entries[0][0]}.json" not in survivors
+        assert len(survivors) < len(entries)
+        summary = cache.summary()
+        assert summary["max_bytes"] == 2048
+        assert summary["evictions"] == cache.evictions
+
+    def test_hits_refresh_recency(self, tmp_path):
+        entries = self._farm_entries(3)
+        cache = ResultCache(str(tmp_path))
+        for index, (key, payload) in enumerate(entries[:2]):
+            cache.store(key, payload, impl="farm", index=index)
+            os.utime(tmp_path / f"{key}.json", (index, index))
+        # A hit on the oldest entry touches its file, so the later
+        # bounded store evicts the *other* one.
+        assert cache.load(entries[0][0]) is not None
+        bounded = ResultCache(str(tmp_path), max_bytes=2048)
+        bounded.store(entries[2][0], entries[2][1], impl="farm", index=2)
+        names = set(os.listdir(tmp_path))
+        assert f"{entries[0][0]}.json" in names
+        assert f"{entries[1][0]}.json" not in names
+
+    def test_summary_json_is_never_evicted(self, tmp_path):
+        entries = self._farm_entries(2)
+        (tmp_path / "summary.json").write_text("{}")
+        cache = ResultCache(str(tmp_path), max_bytes=1)
+        for index, (key, payload) in enumerate(entries):
+            cache.store(key, payload, impl="farm", index=index)
+        assert (tmp_path / "summary.json").exists()
+
+
+class TestAtomicWrite:
+    def test_writes_and_overwrites(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(str(path), "first")
+        assert path.read_text() == "first"
+        atomic_write_text(str(path), "second")
+        assert path.read_text() == "second"
+        assert os.listdir(tmp_path) == ["out.json"]
+
+    def test_failed_write_leaves_previous_content(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(str(path), "precious")
+
+        class Boom(Exception):
+            pass
+
+        real_replace = os.replace
+
+        def exploding_replace(src, dst):
+            raise Boom()
+
+        os.replace = exploding_replace
+        try:
+            with pytest.raises(Boom):
+                atomic_write_text(str(path), "clobbered")
+        finally:
+            os.replace = real_replace
+        assert path.read_text() == "precious"
+        assert os.listdir(tmp_path) == ["out.json"]
 
 
 class TestCacheability:

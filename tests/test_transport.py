@@ -1,0 +1,224 @@
+"""Unit tests for the framed socket transport.
+
+The framing contract under test: every message travels as a
+magic/length/checksum-prefixed frame; a damaged frame costs exactly one
+message (:class:`FrameError`, stream resynchronized), never a mis-parsed
+message or the connection; deadlines surface as :class:`ReadTimeout`;
+EOF and unrecoverable streams as :class:`ConnectionClosed`. The
+:class:`FramePolicy` hook must interpret seeded fault plans
+deterministically on the outbound side.
+"""
+
+import socket
+
+import pytest
+
+from repro.parallel.transport import (
+    HEADER,
+    MAGIC,
+    ConnectionClosed,
+    FramedSocket,
+    FrameError,
+    FramePolicy,
+    ReadTimeout,
+    TransportError,
+    checksum64,
+    encode_frame,
+    parse_address,
+)
+from repro.testing.faults import Fault, FaultPlan, inject
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    a, b = FramedSocket(left), FramedSocket(right)
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestRoundTrip:
+    def test_message_round_trips(self, pair):
+        a, b = pair
+        message = {"kind": "lease", "job": 3, "names": ["x", "y"]}
+        assert a.send(message)
+        assert b.recv(timeout=2.0) == message
+
+    def test_frames_arrive_in_order(self, pair):
+        a, b = pair
+        for index in range(5):
+            a.send(("msg", index))
+        for index in range(5):
+            assert b.recv(timeout=2.0) == ("msg", index)
+
+    def test_large_payload_round_trips(self, pair):
+        import threading
+
+        a, b = pair
+        blob = b"\x00\xff" * 200_000  # multiple recv() chunks
+        # A payload this size overfills the socketpair buffer, so the
+        # send must overlap the receive.
+        sender = threading.Thread(target=a.send, args=(blob,))
+        sender.start()
+        try:
+            assert b.recv(timeout=5.0) == blob
+        finally:
+            sender.join(timeout=5.0)
+
+
+class TestRejection:
+    def _raw_pair(self):
+        return socket.socketpair()
+
+    def test_corrupt_payload_is_rejected_and_stream_survives(self):
+        left, right = self._raw_pair()
+        reader = FramedSocket(right)
+        frame = encode_frame(("precious", 1))
+        # Flip payload bytes, keep the header: alignment is intact, so
+        # the checksum must catch it without a resync.
+        damaged = frame[: HEADER.size] + bytes(
+            b ^ 0xFF for b in frame[HEADER.size :]
+        )
+        left.sendall(damaged)
+        left.sendall(encode_frame(("next", 2)))
+        with pytest.raises(FrameError):
+            reader.recv(timeout=2.0)
+        assert reader.recv(timeout=2.0) == ("next", 2)
+        left.close()
+        reader.close()
+
+    def test_garbage_prefix_resynchronizes_to_next_frame(self):
+        left, right = self._raw_pair()
+        reader = FramedSocket(right)
+        left.sendall(b"garbage bytes that are not a frame header")
+        left.sendall(encode_frame("after the noise"))
+        with pytest.raises(FrameError):
+            reader.recv(timeout=2.0)
+        assert reader.recv(timeout=2.0) == "after the noise"
+        left.close()
+        reader.close()
+
+    def test_oversized_length_header_is_rejected(self):
+        left, right = self._raw_pair()
+        reader = FramedSocket(right)
+        bogus = HEADER.pack(MAGIC, 2**31, 0)
+        left.sendall(bogus)
+        left.sendall(encode_frame("still alive"))
+        with pytest.raises(FrameError):
+            reader.recv(timeout=2.0)
+        assert reader.recv(timeout=2.0) == "still alive"
+        left.close()
+        reader.close()
+
+    def test_undecodable_payload_is_rejected(self):
+        left, right = self._raw_pair()
+        reader = FramedSocket(right)
+        payload = b"not a pickle at all"
+        left.sendall(HEADER.pack(MAGIC, len(payload), checksum64(payload)))
+        left.sendall(payload)
+        left.sendall(encode_frame("ok"))
+        with pytest.raises(FrameError):
+            reader.recv(timeout=2.0)
+        assert reader.recv(timeout=2.0) == "ok"
+        left.close()
+        reader.close()
+
+    def test_peer_close_is_connection_closed(self, pair):
+        a, b = pair
+        a.close()
+        with pytest.raises(ConnectionClosed):
+            b.recv(timeout=2.0)
+
+    def test_truncated_frame_then_eof_is_connection_closed(self):
+        left, right = self._raw_pair()
+        reader = FramedSocket(right)
+        frame = encode_frame(("cut", "short"))
+        left.sendall(frame[: len(frame) - 4])
+        left.close()
+        with pytest.raises(ConnectionClosed):
+            reader.recv(timeout=2.0)
+        reader.close()
+
+    def test_read_deadline_is_read_timeout(self, pair):
+        _, b = pair
+        with pytest.raises(ReadTimeout):
+            b.recv(timeout=0.1)
+
+    def test_oversized_message_refused_at_send(self, pair, monkeypatch):
+        import repro.parallel.transport as transport
+
+        monkeypatch.setattr(transport, "MAX_FRAME", 64)
+        a, _ = pair
+        with pytest.raises(TransportError):
+            a.send(b"x" * 1024)
+
+
+class TestParseAddress:
+    def test_host_and_port(self):
+        assert parse_address("10.1.2.3:7000") == ("10.1.2.3", 7000)
+
+    def test_bare_port_and_empty_host_default_loopback(self):
+        assert parse_address("7000") == ("127.0.0.1", 7000)
+        assert parse_address(":7000") == ("127.0.0.1", 7000)
+
+    def test_tcp_scheme_prefix(self):
+        assert parse_address("tcp://example:81") == ("example", 81)
+
+    @pytest.mark.parametrize("bad", ["host:seven", "host:", "", "h:70000"])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+
+class TestFramePolicy:
+    def _policied_pair(self, policy):
+        left, right = socket.socketpair()
+        return FramedSocket(left, policy=policy), FramedSocket(right)
+
+    def test_drop_frame_suppresses_the_send(self):
+        plan = FaultPlan((Fault("drop-frame", "raise", hit=0),))
+        with inject(plan) as injector:
+            a, b = self._policied_pair(FramePolicy())
+            assert a.send("dropped") is False
+            assert a.send("delivered") is True
+            assert b.recv(timeout=2.0) == "delivered"
+        assert ("drop-frame", 0, "drop") in injector.fired
+        a.close()
+        b.close()
+
+    def test_corrupt_frame_is_rejected_by_receiver(self):
+        plan = FaultPlan((Fault("corrupt-frame", "corrupt", hit=0),))
+        with inject(plan) as injector:
+            a, b = self._policied_pair(FramePolicy())
+            assert a.send("mangled in flight") is True
+            with pytest.raises(FrameError):
+                b.recv(timeout=2.0)
+            a.send("clean")
+            assert b.recv(timeout=2.0) == "clean"
+        assert ("corrupt-frame", 0, "corrupt") in injector.fired
+        a.close()
+        b.close()
+
+    def test_delay_frame_fires_and_still_delivers(self):
+        plan = FaultPlan((Fault("delay-frame", "delay", hit=0, delay=0.01),))
+        with inject(plan) as injector:
+            a, b = self._policied_pair(FramePolicy())
+            assert a.send("late but intact") is True
+            assert b.recv(timeout=2.0) == "late but intact"
+        assert ("delay-frame", 0, "delay") in injector.fired
+        a.close()
+        b.close()
+
+    def test_ordinal_is_global_across_sockets(self):
+        # One policy across two connections: hit=1 names the second
+        # frame sent through the *policy*, whichever socket carries it.
+        plan = FaultPlan((Fault("drop-frame", "raise", hit=1),))
+        with inject(plan):
+            policy = FramePolicy()
+            a1, b1 = self._policied_pair(policy)
+            a2, b2 = self._policied_pair(policy)
+            assert a1.send("first") is True
+            assert a2.send("second") is False
+        for sock in (a1, b1, a2, b2):
+            sock.close()
