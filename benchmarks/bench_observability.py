@@ -1,4 +1,4 @@
-"""OBS-OVERHEAD: telemetry hooks must be free when no tracer is installed.
+"""OBS-OVERHEAD: telemetry hooks must be free when nothing is installed.
 
 Every instrumentation site of the pipeline (the seven stage boundaries
 of ``repro.obs.stages.STAGES``, plus per-implementation and per-VC child
@@ -7,6 +7,15 @@ crossing is one module-global ``None`` check returning a shared no-op
 context manager. The claim measured here: total hook cost on an
 ordinary ``check_scope`` run over the examples corpus — crossings x
 per-crossing cost — is under 1% of the run's wall-clock.
+
+The event journal gets the same discipline: lifecycle emission sites
+call :func:`repro.obs.events.emit` unconditionally, and with no journal
+installed an emission is one module-global ``None`` check (the keyword
+arguments are built by the caller either way, so the measured per-emit
+cost includes them). The journal guard is emissions x per-emit cost
+< 1% of wall-clock, and an armed journal with a live
+:class:`~repro.obs.progress.ProgressRenderer` attached must stay within
+a small constant factor of the bare run.
 
 Run as a script (``python benchmarks/bench_observability.py``) it
 re-measures and rewrites ``BENCH_observability.json`` at the repo root —
@@ -87,6 +96,24 @@ def measure_overhead(limits):
     per_crossing = (time.perf_counter() - start) / batch
 
     hook_seconds = crossings * per_crossing
+
+    # Same discipline for the event journal: count what an armed journal
+    # would record on the corpus run, then price the disabled emission.
+    journal = obs.EventJournal()
+    with obs.journaling(journal):
+        run_checks()
+    emissions = len(journal)
+    assert emissions > 0
+
+    from repro.obs import events as events_module
+
+    assert events_module.journal() is None
+    start = time.perf_counter()
+    for _ in range(batch):
+        events_module.emit("cache-hit", key="bench", backend="null")
+    per_emit = (time.perf_counter() - start) / batch
+
+    events_seconds = emissions * per_emit
     return {
         "programs": len(scopes),
         "crossings": crossings,
@@ -94,6 +121,11 @@ def measure_overhead(limits):
         "check_seconds": round(check_seconds, 4),
         "hook_seconds": round(hook_seconds, 6),
         "overhead_percent": round(100 * hook_seconds / check_seconds, 4),
+        "emissions": emissions,
+        "per_emit_ns": round(per_emit * 1e9, 1),
+        "events_overhead_percent": round(
+            100 * events_seconds / check_seconds, 4
+        ),
     }
 
 
@@ -107,6 +139,13 @@ def test_null_tracer_overhead(limits):
     row = measure_overhead(limits)
     print_row("OBS-OVERHEAD", **row)
     assert row["overhead_percent"] < 1.0
+
+
+def test_null_event_path_overhead(limits):
+    """Emissions per examples-corpus run x null emit cost < 1%."""
+    row = measure_overhead(limits)
+    print_row("OBS-EVENTS", **row)
+    assert row["events_overhead_percent"] < 1.0
 
 
 def test_armed_tracer_is_bounded(limits):
@@ -138,13 +177,46 @@ def test_armed_tracer_is_bounded(limits):
     assert armed < baseline * 1.5
 
 
+def test_armed_journal_with_progress_is_bounded(limits):
+    """An armed journal feeding a live progress renderer records every
+    lifecycle event and stays within a small constant factor of the bare
+    run — ``--events``/``--progress`` must be usable on real runs."""
+    import io
+
+    scopes = _example_scopes()
+
+    def run_checks():
+        for _, scope in scopes:
+            check_scope(scope, limits)
+
+    def run_journaled():
+        journal = obs.EventJournal()
+        journal.add_listener(
+            obs.ProgressRenderer(io.StringIO(), line_interval=0.0)
+        )
+        with obs.journaling(journal):
+            run_checks()
+        return journal
+
+    assert len(run_journaled()) > 0
+    baseline = _median_seconds(run_checks, repeats=3)
+    armed = _median_seconds(run_journaled, repeats=3)
+    print_row(
+        "OBS-JOURNAL-ARMED",
+        baseline_seconds=round(baseline, 4),
+        armed_seconds=round(armed, 4),
+        slowdown_percent=round(100 * (armed / baseline - 1), 2),
+    )
+    assert armed < baseline * 1.5
+
+
 def main():
     row = measure_overhead(Limits(time_budget=120.0))
     payload = {
         "benchmark": "observability",
         "unit": "overhead_percent of examples-corpus check_scope wall-clock",
-        "guard": "overhead_percent < 1.0",
-        "regression_keys": ["overhead_percent"],
+        "guard": "overhead_percent < 1.0 and events_overhead_percent < 1.0",
+        "regression_keys": ["overhead_percent", "events_overhead_percent"],
         "entries": [row],
     }
     with open(BENCH_JSON, "w") as handle:

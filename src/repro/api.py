@@ -88,11 +88,19 @@ def _maybe_tracing(tracer):
     return tracing(tracer)
 
 
+def _maybe_journaling(events):
+    """Install an event journal for the call when given; no-op otherwise."""
+    from repro.obs import journaling
+
+    return journaling(events)
+
+
 def check_program(
     source: str,
     limits: Optional[Limits] = None,
     *,
     tracer=None,
+    events=None,
     explain: bool = False,
     parallel: Optional[int] = None,
     fleet=None,
@@ -111,6 +119,12 @@ def check_program(
     per-implementation, per-VC) and prover metrics land on it, ready for
     :func:`repro.obs.chrome_trace` / :func:`repro.obs.text_report`.
 
+    ``events``, when given, is a :class:`repro.obs.EventJournal`
+    installed for the duration of the call: the run's lifecycle records
+    (lease grants, worker churn, retries/quarantines, cache traffic,
+    degradation) land on it, ready for ``journal.write(path)`` or a live
+    listener such as :class:`repro.obs.ProgressRenderer`.
+
     ``explain=True`` attaches a blame report or replayable proof log to
     each verdict (see :mod:`repro.obs.explain`).
 
@@ -125,7 +139,7 @@ def check_program(
     see :mod:`repro.analysis.effects` and
     :func:`repro.vcgen.checker.check_scope`.
     """
-    with _maybe_tracing(tracer):
+    with _maybe_tracing(tracer), _maybe_journaling(events):
         return check_scope(
             parse_program(source),
             limits,
@@ -148,6 +162,7 @@ def check_program_resilient(
     *,
     filename: Optional[str] = None,
     tracer=None,
+    events=None,
     explain: bool = False,
     parallel: Optional[int] = None,
     fleet=None,
@@ -174,7 +189,7 @@ def check_program_resilient(
     The supervision knobs (``parallel``/``cache_dir``/``job_timeout``/
     ``max_retries``) behave as in :func:`check_program`.
     """
-    with _maybe_tracing(tracer):
+    with _maybe_tracing(tracer), _maybe_journaling(events):
         return _check_program_resilient(
             source,
             limits,

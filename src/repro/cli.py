@@ -20,9 +20,13 @@ analyzer that discharges frame obligations before the prover) and
 are OL402 errors).
 Check mode also carries the observability flags: ``--trace FILE``
 (Chrome trace-event JSON of the run, written on every exit path),
-``--metrics FILE`` (machine-readable pipeline/prover metrics), and
-``--profile`` (stage breakdown, slowest VCs, hottest quantifiers,
-deadline pressure). See README "Observability".
+``--metrics FILE`` (machine-readable pipeline/prover metrics;
+``--metrics-format prom`` renders Prometheus text instead of JSON),
+``--events FILE`` (a structured JSONL event journal of the run's
+lifecycle — leases, worker churn, retries, cache traffic, degradation),
+``--progress`` (a live progress line on stderr driven by the same
+events), and ``--profile`` (stage breakdown, slowest VCs, hottest
+quantifiers, deadline pressure). See README "Observability".
 ``--explain`` adds per-verdict explanations (``--explain-format
 text|json``, ``--explain-out FILE``): blame reports for failed proofs,
 replay-validated proof logs for verified ones. See README "Explaining
@@ -232,7 +236,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         metavar="FILE",
         default=None,
-        help="write machine-readable pipeline/prover metrics JSON to FILE",
+        help="write machine-readable pipeline/prover metrics to FILE "
+        "(JSON by default; see --metrics-format)",
+    )
+    parser.add_argument(
+        "--metrics-format",
+        choices=("json", "prom"),
+        default="json",
+        help="format for --metrics: 'json' (default) or 'prom' "
+        "(Prometheus text exposition, ready for a file-based scrape)",
+    )
+    parser.add_argument(
+        "--events",
+        metavar="FILE",
+        default=None,
+        help="write a structured JSONL event journal of the run to FILE: "
+        "lease grants/expiries, worker churn, retries and quarantines "
+        "(OL902), cache traffic (OL903), degradation (OL904) — one JSON "
+        "record per line, conforming to the in-tree events.schema.json; "
+        "written even when the run fails",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live progress on stderr (implementations checked, "
+        "leases outstanding, cache hits, quarantines, ETA), driven by "
+        "the same event stream --events records",
     )
     parser.add_argument(
         "--profile",
@@ -440,16 +469,33 @@ def check_main(argv: Optional[List[str]] = None) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer()
+    journal = None
+    renderer = None
+    if args.events or args.progress:
+        from repro.obs import EventJournal
+
+        journal = EventJournal()
+        if args.progress:
+            from repro.obs import ProgressRenderer
+
+            renderer = ProgressRenderer()
+            journal.add_listener(renderer)
     if args.explain_out:
         args.explain = True
     outcome = {"report": None}
     try:
-        return _check_traced(args, sources, limits, tracer, outcome)
+        from repro.obs import journaling
+
+        with journaling(journal):
+            return _check_traced(args, sources, limits, tracer, outcome)
     finally:
         # Exports happen on every exit path — a trace of a failing or
         # crashing run is exactly the one worth keeping (spans are
-        # closed by the instrumentation's ``with`` blocks on unwind).
-        _write_exports(args, tracer, outcome)
+        # closed by the instrumentation's ``with`` blocks on unwind,
+        # and a journal of a crashed run records how far it got).
+        if renderer is not None:
+            renderer.finish()
+        _write_exports(args, tracer, outcome, journal)
 
 
 def _check_traced(args, sources, limits: Limits, tracer, outcome) -> int:
@@ -553,27 +599,38 @@ def _write_text(path: str, text: str) -> None:
         handle.write("\n")
 
 
-def _write_exports(args, tracer, outcome) -> None:
+def _write_exports(args, tracer, outcome, journal=None) -> None:
     """Everything the CLI owes the filesystem, on *every* exit path.
 
     Called from ``check_main``'s single ``finally`` so a crash, a
     KeyboardInterrupt, or a clean failure all leave the same artifacts:
-    the Chrome trace, the metrics JSON, the explanation report (a run
-    that crashed before any verdict still produces a valid, empty
-    report), and the result-cache flush summary.
+    the Chrome trace, the metrics file, the event journal, the
+    explanation report (a run that crashed before any verdict still
+    produces a valid, empty report), and the result-cache flush summary.
     """
     report = outcome.get("report")
     if tracer is not None:
-        from repro.obs import write_chrome_trace, write_metrics
+        from repro.obs import (
+            write_chrome_trace,
+            write_metrics,
+            write_metrics_prometheus,
+        )
 
         _export(
             "trace", args.trace, lambda path: write_chrome_trace(path, tracer)
         )
+        metrics_writer = (
+            write_metrics_prometheus
+            if args.metrics_format == "prom"
+            else write_metrics
+        )
         _export(
             "metrics",
             args.metrics,
-            lambda path: write_metrics(path, tracer.metrics),
+            lambda path: metrics_writer(path, tracer.metrics),
         )
+    if journal is not None:
+        _export("events", args.events, journal.write)
     if args.explain:
         text = _render_explanations(args, report)
         if args.explain_out:
@@ -626,28 +683,81 @@ def _render_explanations(args, report) -> str:
     return "\n\n".join(blocks) if blocks else "(no explanations)"
 
 
-def workers_main(argv: Optional[List[str]] = None) -> int:
-    """``oolong-check workers serve HOST:PORT`` — a standing worker pool.
+def _render_status(payload: dict, metrics_format: Optional[str]) -> str:
+    """Render a STATUS payload: human text, JSON, or Prometheus text."""
+    if metrics_format == "json":
+        import json
 
-    The pool keeps dialing the coordinator address, so it can be started
-    before any checker run exists and survives across successive runs
-    (each run's coordinator binds the same address, the workers rejoin).
+        return json.dumps(payload, indent=2, sort_keys=True)
+    if metrics_format == "prom":
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.merge_dict(payload.get("metrics", {}))
+        return registry.to_prometheus().rstrip("\n")
+    kind = payload.get("kind", "server")
+    lines = [
+        f"{kind} pid={payload.get('pid')} "
+        f"uptime={payload.get('uptime')}s"
+    ]
+    if kind == "worker-pool":
+        workers = payload.get("workers", {})
+        pids = ", ".join(str(pid) for pid in workers.get("pids", []))
+        lines.append(f"  coordinator: {payload.get('coordinator')}")
+        lines.append(
+            f"  workers: {workers.get('alive')}/{workers.get('configured')} "
+            f"alive (pids: {pids or 'none'})"
+        )
+        lines.append(f"  jobs served: {payload.get('jobs_served')}")
+    elif kind == "cache-server":
+        lines.append(f"  address: {payload.get('address')}")
+        for key, value in sorted(payload.get("summary", {}).items()):
+            lines.append(f"  {key}: {value}")
+    counters = payload.get("metrics", {}).get("counters", {})
+    for name, value in sorted(counters.items()):
+        lines.append(f"  {name}: {value}")
+    return "\n".join(lines)
+
+
+def _journal_for_server(events_path: Optional[str]):
+    """A journal for a server entry point, or None without ``--events``."""
+    if not events_path:
+        return None
+    from repro.obs import EventJournal
+
+    return EventJournal()
+
+
+def workers_main(argv: Optional[List[str]] = None) -> int:
+    """``oolong-check workers serve|status`` — a standing worker pool.
+
+    ``serve HOST:PORT`` keeps dialing the coordinator address, so the
+    pool can be started before any checker run exists and survives
+    across successive runs (each run's coordinator binds the same
+    address, the workers rejoin). With ``--status HOST:PORT`` the pool
+    also answers live status queries there. ``status HOST:PORT`` asks a
+    pool's status endpoint and prints the answer.
     """
     parser = argparse.ArgumentParser(
         prog="oolong-check workers",
         description=(
             "Run a standing pool of fleet proof workers that dial a "
             "coordinator address and steal job leases from it (see "
-            "'oolong-check --fleet HOST:PORT')."
+            "'oolong-check --fleet HOST:PORT'), or query a running "
+            "pool's status endpoint."
         ),
     )
     parser.add_argument(
-        "action", choices=("serve",), help="serve: run the pool until ^C"
+        "action",
+        choices=("serve", "status"),
+        help="serve: run the pool until ^C; status: query a pool's "
+        "--status endpoint and print the answer",
     )
     parser.add_argument(
         "address",
         metavar="HOST:PORT",
-        help="fleet coordinator address to dial",
+        help="serve: fleet coordinator address to dial; status: the "
+        "pool's --status endpoint address",
     )
     parser.add_argument(
         "-j",
@@ -662,8 +772,28 @@ def workers_main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="shared fleet token (must match the coordinator's)",
     )
+    parser.add_argument(
+        "--status",
+        metavar="HOST:PORT",
+        default=None,
+        help="with serve: also answer status queries at this address "
+        "(port 0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--events",
+        metavar="FILE",
+        default=None,
+        help="with serve: write the pool's JSONL event journal to FILE "
+        "on shutdown",
+    )
+    parser.add_argument(
+        "--metrics-format",
+        choices=("json", "prom"),
+        default=None,
+        help="with status: print the full payload as JSON, or the "
+        "metrics as Prometheus text (default: human-readable summary)",
+    )
     args = parser.parse_args(argv)
-    from repro.parallel.fleet import serve_workers_forever
     from repro.parallel.transport import parse_address
 
     try:
@@ -671,37 +801,74 @@ def workers_main(argv: Optional[List[str]] = None) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.action == "status":
+        from repro.parallel.transport import TransportError, query_status
+
+        try:
+            payload = query_status(address, token=args.token)
+        except TransportError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(_render_status(payload, args.metrics_format))
+        return 0
+    from repro.obs import journaling
+    from repro.parallel.fleet import serve_workers_forever
+
     if args.jobs < 1:
         print("error: --jobs must be at least 1", file=sys.stderr)
         return 2
+    status_address = None
+    if args.status is not None:
+        try:
+            status_address = parse_address(args.status)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    journal = _journal_for_server(args.events)
     try:
-        serve_workers_forever(address, jobs=args.jobs, token=args.token)
+        with journaling(journal):
+            serve_workers_forever(
+                address,
+                jobs=args.jobs,
+                token=args.token,
+                status_address=status_address,
+            )
     except KeyboardInterrupt:
         pass
+    finally:
+        if journal is not None:
+            _export("events", args.events, journal.write)
     return 0
 
 
 def cache_main(argv: Optional[List[str]] = None) -> int:
-    """``oolong-check cache serve HOST:PORT --dir DIR`` — a shared cache."""
+    """``oolong-check cache serve|status HOST:PORT`` — a shared cache."""
     parser = argparse.ArgumentParser(
         prog="oolong-check cache",
         description=(
             "Serve an on-disk result cache over a socket so many checker "
-            "runs can warm each other (see 'oolong-check --cache-url')."
+            "runs can warm each other (see 'oolong-check --cache-url'), "
+            "or query a running server's status."
         ),
     )
     parser.add_argument(
-        "action", choices=("serve",), help="serve: run the server until ^C"
+        "action",
+        choices=("serve", "status"),
+        help="serve: run the server until ^C; status: query a running "
+        "server and print its status",
     )
     parser.add_argument(
-        "address", metavar="HOST:PORT", help="address to listen on"
+        "address",
+        metavar="HOST:PORT",
+        help="serve: address to listen on; status: server to query",
     )
     parser.add_argument(
         "--dir",
         dest="directory",
         metavar="PATH",
-        required=True,
-        help="cache directory to serve (created if missing)",
+        default=None,
+        help="with serve (required): cache directory to serve (created "
+        "if missing)",
     )
     parser.add_argument(
         "--max-bytes",
@@ -715,8 +882,21 @@ def cache_main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="shared secret clients must present",
     )
+    parser.add_argument(
+        "--events",
+        metavar="FILE",
+        default=None,
+        help="with serve: write the server's JSONL event journal to "
+        "FILE on shutdown",
+    )
+    parser.add_argument(
+        "--metrics-format",
+        choices=("json", "prom"),
+        default=None,
+        help="with status: print the full payload as JSON, or the "
+        "metrics as Prometheus text (default: human-readable summary)",
+    )
     args = parser.parse_args(argv)
-    from repro.parallel.cacheserver import serve_cache_forever
     from repro.parallel.transport import parse_address
 
     try:
@@ -724,18 +904,39 @@ def cache_main(argv: Optional[List[str]] = None) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.action == "status":
+        from repro.parallel.cacheserver import CacheUnavailable, cache_status
+
+        try:
+            payload = cache_status(args.address, token=args.token)
+        except CacheUnavailable as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(_render_status(payload, args.metrics_format))
+        return 0
+    if not args.directory:
+        print("error: serve requires --dir PATH", file=sys.stderr)
+        return 2
+    from repro.obs import journaling
+    from repro.parallel.cacheserver import serve_cache_forever
+
+    journal = _journal_for_server(args.events)
     try:
-        serve_cache_forever(
-            args.directory,
-            address,
-            max_bytes=args.max_bytes or None,
-            token=args.token,
-        )
+        with journaling(journal):
+            serve_cache_forever(
+                args.directory,
+                address,
+                max_bytes=args.max_bytes or None,
+                token=args.token,
+            )
     except KeyboardInterrupt:
         pass
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if journal is not None:
+            _export("events", args.events, journal.write)
     return 0
 
 

@@ -1,6 +1,6 @@
 """``repro.obs`` — zero-dependency telemetry for the checking pipeline.
 
-Three layers:
+Four layers:
 
 * :mod:`repro.obs.tracer` — a span tracer covering every stage boundary
   named by :data:`repro.obs.stages.STAGES` (the same vocabulary the
@@ -10,8 +10,12 @@ Three layers:
 * :mod:`repro.obs.metrics` — a registry of counters/labelled
   counters/timers fed from ``ProverStats`` and vcgen sizes.
 * :mod:`repro.obs.export` — Chrome trace-event JSON (open in Perfetto
-  or ``chrome://tracing``), machine-readable metrics JSON, and the
-  human ``--profile`` text report.
+  or ``chrome://tracing``), machine-readable metrics JSON (or the
+  Prometheus text format), and the human ``--profile`` text report.
+* :mod:`repro.obs.events` — a structured JSONL event journal for the
+  *distributed* lifecycle (leases, worker churn, quarantines, cache
+  traffic, degradation), schema-validated in-tree, with a ``--progress``
+  renderer (:mod:`repro.obs.progress`) driven off the same stream.
 
 Typical use::
 
@@ -24,7 +28,16 @@ Typical use::
     print(obs.text_report(tracer))
 """
 
-from repro.obs.metrics import MetricsRegistry, TimerStat
+from repro.obs.events import (
+    EVENT_KINDS,
+    EventJournal,
+    emit,
+    journal,
+    journaling,
+    read_journal,
+)
+from repro.obs.metrics import MetricsRegistry, TimerStat, prometheus_name
+from repro.obs.progress import ProgressRenderer
 from repro.obs.stages import (
     CAT_IMPL,
     CAT_PIPELINE,
@@ -48,6 +61,7 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_chrome_trace,
     write_metrics,
+    write_metrics_prometheus,
 )
 from repro.obs.explain import (
     Explanation,
@@ -56,16 +70,23 @@ from repro.obs.explain import (
     explain_result,
     inclusion_chain,
 )
-from repro.obs.schema import validate_explanation_report
+from repro.obs.schema import (
+    validate_event,
+    validate_event_journal,
+    validate_explanation_report,
+)
 
 __all__ = [
     "CAT_IMPL",
     "CAT_PIPELINE",
     "CAT_STAGE",
     "CAT_VC",
+    "EVENT_KINDS",
+    "EventJournal",
     "Explanation",
     "InclusionCheck",
     "MetricsRegistry",
+    "ProgressRenderer",
     "STAGES",
     "Span",
     "TimerStat",
@@ -74,15 +95,23 @@ __all__ = [
     "attach_to_trace",
     "chrome_trace",
     "current",
+    "emit",
     "explain_result",
     "inclusion_chain",
+    "journal",
+    "journaling",
     "metrics",
     "metrics_json",
+    "prometheus_name",
+    "read_journal",
     "span",
     "text_report",
     "tracing",
     "validate_chrome_trace",
+    "validate_event",
+    "validate_event_journal",
     "validate_explanation_report",
     "write_chrome_trace",
     "write_metrics",
+    "write_metrics_prometheus",
 ]

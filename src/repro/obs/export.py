@@ -74,6 +74,12 @@ def write_metrics(path: str, registry: MetricsRegistry) -> None:
         handle.write("\n")
 
 
+def write_metrics_prometheus(path: str, registry: MetricsRegistry) -> None:
+    """``--metrics FILE`` under ``--metrics-format prom``."""
+    with open(path, "w") as handle:
+        handle.write(registry.to_prometheus())
+
+
 # ----------------------------------------------------------------------
 # Human text report
 # ----------------------------------------------------------------------

@@ -14,8 +14,26 @@ Labelled counters add one level of keys under a single metric name
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(name: str, prefix: str = "oolong") -> str:
+    """``prover.check_seconds`` → ``oolong_prover_check_seconds``."""
+    flat = _PROM_BAD.sub("_", f"{prefix}_{name}" if prefix else name)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
 
 
 @dataclass
@@ -135,3 +153,43 @@ class MetricsRegistry:
                 for name, timer in sorted(self.timers.items())
             },
         }
+
+    def to_prometheus(self, prefix: str = "oolong") -> str:
+        """Render the registry in the Prometheus text exposition format.
+
+        Plain counters become ``counter`` samples; a labelled counter
+        ``foo.by_bar`` becomes one ``counter`` family with a ``bar``
+        label (falling back to a generic ``label`` key when the name
+        does not follow the ``.by_<key>`` convention); a timer ``foo``
+        becomes ``foo_count`` / ``foo_seconds_total`` counters plus a
+        ``foo_seconds_max`` gauge. Families are emitted in sorted order
+        so the output is stable for diffing and scraping tests.
+        """
+        lines: List[str] = []
+        for name, value in sorted(self.counters.items()):
+            metric = prometheus_name(name, prefix)
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {value}")
+        for name, bucket in sorted(self.labelled.items()):
+            base, sep, key = name.rpartition(".by_")
+            if sep:
+                metric = prometheus_name(base, prefix)
+                label_key = _PROM_BAD.sub("_", key)
+            else:
+                metric = prometheus_name(name, prefix)
+                label_key = "label"
+            lines.append(f"# TYPE {metric} counter")
+            for label, value in sorted(bucket.items()):
+                escaped = _prom_label_value(label)
+                lines.append(f'{metric}{{{label_key}="{escaped}"}} {value}')
+        for name, timer in sorted(self.timers.items()):
+            base = prometheus_name(name, prefix)
+            if base.endswith("_seconds"):
+                base = base[: -len("_seconds")]
+            lines.append(f"# TYPE {base}_count counter")
+            lines.append(f"{base}_count {timer.count}")
+            lines.append(f"# TYPE {base}_seconds_total counter")
+            lines.append(f"{base}_seconds_total {round(timer.total, 6)}")
+            lines.append(f"# TYPE {base}_seconds_max gauge")
+            lines.append(f"{base}_seconds_max {round(timer.max, 6)}")
+        return "\n".join(lines) + ("\n" if lines else "")

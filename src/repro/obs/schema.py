@@ -104,3 +104,44 @@ def load_schema(name: str) -> dict:
 def validate_explanation_report(payload: Any) -> List[str]:
     """Violations of the ``--explain-format json`` payload schema."""
     return validate(payload, load_schema("explanations.schema.json"))
+
+
+def validate_event(record: Any) -> List[str]:
+    """Violations of one event-journal record against the in-tree schema."""
+    return validate(record, load_schema("events.schema.json"))
+
+
+def validate_event_journal(records: Any) -> List[str]:
+    """Violations across a whole journal (a list of records).
+
+    Beyond per-record schema checks this enforces the journal-level
+    invariants the merge tooling relies on: ``seq`` strictly increasing
+    per ``run_id``, and ``t_mono`` non-decreasing per ``run_id``.
+    """
+    if not isinstance(records, list):
+        return ["$: expected a list of event records"]
+    schema = load_schema("events.schema.json")
+    errors: List[str] = []
+    last_seq: dict = {}
+    last_mono: dict = {}
+    for index, record in enumerate(records):
+        path = f"$[{index}]"
+        record_errors = validate(record, schema, path)
+        errors.extend(record_errors)
+        if record_errors or not isinstance(record, dict):
+            continue
+        run_id = record["run_id"]
+        seq = record["seq"]
+        if run_id in last_seq and seq <= last_seq[run_id]:
+            errors.append(
+                f"{path}: seq {seq} not after {last_seq[run_id]} "
+                f"for run {run_id!r}"
+            )
+        last_seq[run_id] = seq
+        mono = record["t_mono"]
+        if run_id in last_mono and mono < last_mono[run_id]:
+            errors.append(
+                f"{path}: t_mono went backwards for run {run_id!r}"
+            )
+        last_mono[run_id] = mono
+    return errors

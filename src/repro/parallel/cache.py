@@ -37,9 +37,15 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro import __version__
+from repro.obs import events as obs_events
 from repro.oolong.ast import ImplDecl
 from repro.oolong.pretty import pretty_decl
 from repro.prover.core import Limits
+
+
+def _event_key(key: str) -> str:
+    """The truncated key journal records carry (full keys are 64 hex)."""
+    return key[:16]
 
 if TYPE_CHECKING:
     from repro.oolong.program import Scope
@@ -316,6 +322,7 @@ class ResultCache:
         if entry is None:
             if error is None:
                 self.misses += 1
+                obs_events.emit("cache-miss", key=_event_key(key))
             else:
                 self._reject(key, error)
             return None
@@ -324,6 +331,7 @@ class ResultCache:
             self._reject(key, reason or "entry rejected")
             return None
         self.hits += 1
+        obs_events.emit("cache-hit", key=_event_key(key))
         try:
             os.utime(path)  # refresh recency so LRU eviction spares it
         except OSError:
@@ -349,6 +357,9 @@ class ResultCache:
     def _reject(self, key: str, reason: str) -> None:
         self.misses += 1
         self.rejections.append((key, reason))
+        obs_events.emit(
+            "cache-reject", key=_event_key(key), reason=reason, code="OL903"
+        )
 
     # ------------------------------------------------------------------
     # Writing
@@ -386,8 +397,15 @@ class ResultCache:
                 raise
         except OSError as error:
             self.rejections.append((key, f"cache write failed: {error}"))
+            obs_events.emit(
+                "cache-reject",
+                key=_event_key(key),
+                reason=f"cache write failed: {error}",
+                code="OL903",
+            )
             return False
         self.stores += 1
+        obs_events.emit("cache-store", key=_event_key(key))
         if self.max_bytes is not None:
             self._evict_to_budget()
         return True
@@ -424,6 +442,11 @@ class ResultCache:
                 continue
             total -= size
             self.evictions += 1
+            obs_events.emit(
+                "cache-evict",
+                key=_event_key(os.path.basename(path)[: -len(".json")]),
+                bytes=size,
+            )
 
     # ------------------------------------------------------------------
     # Introspection

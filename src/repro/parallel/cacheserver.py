@@ -27,10 +27,14 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from typing import List, Optional, Tuple
 
+from repro.obs import events as obs_events
+from repro.obs.metrics import MetricsRegistry
 from repro.parallel.cache import (
     ResultCache,
+    _event_key,
     code_version,
     validate_entry,
 )
@@ -73,6 +77,8 @@ class CacheServer:
         self.token = token
         self._listener = serve(address)
         self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self.metrics = MetricsRegistry()
+        self.started = time.time()
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
@@ -92,6 +98,13 @@ class CacheServer:
         return f"{host}:{port}"
 
     def start(self) -> "CacheServer":
+        obs_events.emit(
+            "server-start",
+            kind="cache-server",
+            address=self.url,
+            pid=os.getpid(),
+            directory=self.cache.directory,
+        )
         thread = threading.Thread(
             target=self._accept_loop, name="cache-accept", daemon=True
         )
@@ -100,6 +113,13 @@ class CacheServer:
         return self
 
     def stop(self) -> None:
+        if not self._stop.is_set():
+            obs_events.emit(
+                "server-stop",
+                kind="cache-server",
+                address=self.url,
+                pid=os.getpid(),
+            )
         self._stop.set()
         close_listener(self._listener)
         if self._accept_thread is not None:
@@ -163,9 +183,11 @@ class CacheServer:
                 if kind == "bye":
                     return
                 if kind == "get" and len(request) == 2:
+                    self.metrics.inc("cacheserver.gets")
                     channel.send(self._handle_get(request[1]))
                 elif kind == "put" and len(request) == 5:
                     _, key, payload, impl, index = request
+                    self.metrics.inc("cacheserver.puts")
                     with self._lock:
                         stored = self.cache.store(
                             key, payload, impl=impl, index=index
@@ -174,6 +196,8 @@ class CacheServer:
                 elif kind == "summary":
                     with self._lock:
                         channel.send(("summary", self.cache.summary()))
+                elif kind == "status":
+                    channel.send(("status", self.status()))
                 else:
                     channel.send(("reject", f"unknown request {kind!r}"))
         except TransportError:
@@ -192,6 +216,13 @@ class CacheServer:
                     # Refuse to serve a bad entry; the client records the
                     # server-side reason as its own OL903 rejection.
                     self.cache.rejections.append((key, reason or "rejected"))
+                    self.metrics.inc("cacheserver.rejects")
+                    obs_events.emit(
+                        "cache-reject",
+                        key=_event_key(key),
+                        reason=reason or "rejected",
+                        code="OL903",
+                    )
                     return ("miss", reason)
                 # The fault ordinal counts *served* reads only, so a
                 # plan's hit index is independent of how many cold
@@ -205,15 +236,35 @@ class CacheServer:
                     except OSError:
                         pass
                     self.cache.evictions += 1
+                    self.metrics.inc("cacheserver.evictions")
+                    obs_events.emit("cache-evict", key=_event_key(key))
                     return ("miss", None)
                 self.cache.hits += 1
+                self.metrics.inc("cacheserver.hits")
+                obs_events.emit("cache-hit", key=_event_key(key))
                 try:
                     os.utime(self.cache._path(key))
                 except OSError:
                     pass
                 return ("entry", entry)
             self.cache.misses += 1
+            self.metrics.inc("cacheserver.misses")
+            obs_events.emit("cache-miss", key=_event_key(key))
             return ("miss", error)
+
+    def status(self) -> dict:
+        """The server's live status payload (served to STATUS queries)."""
+        with self._lock:
+            summary = self.cache.summary()
+        return {
+            "kind": "cache-server",
+            "protocol": PROTOCOL,
+            "address": self.url,
+            "pid": os.getpid(),
+            "uptime": round(time.time() - self.started, 3),
+            "summary": summary,
+            "metrics": self.metrics.to_dict(),
+        }
 
 
 class RemoteCache:
@@ -292,28 +343,52 @@ class RemoteCache:
         reply = self._request(("get", key))
         if not (isinstance(reply, tuple) and reply):
             self.misses += 1
+            obs_events.emit("cache-miss", key=_event_key(key), backend="remote")
             return None
         if reply[0] == "miss":
             reason = reply[1] if len(reply) > 1 else None
             self.misses += 1
             if reason:
                 self.rejections.append((key, f"server-side: {reason}"))
+                obs_events.emit(
+                    "cache-reject",
+                    key=_event_key(key),
+                    reason=f"server-side: {reason}",
+                    code="OL903",
+                    backend="remote",
+                )
+            else:
+                obs_events.emit(
+                    "cache-miss", key=_event_key(key), backend="remote"
+                )
             return None
         if reply[0] != "entry" or len(reply) != 2:
             self.misses += 1
+            obs_events.emit("cache-miss", key=_event_key(key), backend="remote")
             return None
         verdict, reason = validate_entry(reply[1], key)
         if verdict is None:
             self.misses += 1
             self.rejections.append((key, reason or "entry rejected"))
+            obs_events.emit(
+                "cache-reject",
+                key=_event_key(key),
+                reason=reason or "entry rejected",
+                code="OL903",
+                backend="remote",
+            )
             return None
         self.hits += 1
+        obs_events.emit("cache-hit", key=_event_key(key), backend="remote")
         return verdict
 
     def store(self, key: str, verdict_payload: dict, *, impl: str, index: int) -> bool:
         reply = self._request(("put", key, verdict_payload, impl, index))
         if isinstance(reply, tuple) and len(reply) == 2 and reply[0] == "ok" and reply[1]:
             self.stores += 1
+            obs_events.emit(
+                "cache-store", key=_event_key(key), impl=impl, backend="remote"
+            )
             return True
         return False
 
@@ -339,6 +414,52 @@ class RemoteCache:
         return summary
 
 
+def cache_status(
+    url: str, *, token: Optional[str] = None, timeout: float = 5.0
+) -> dict:
+    """One STATUS round-trip against a running :class:`CacheServer`.
+
+    The cache server answers status natively on its own port (no second
+    listener), so this speaks the cache protocol: hello, ``("status",)``,
+    bye.
+    """
+    try:
+        address = parse_address(url)
+    except ValueError as exc:
+        raise CacheUnavailable(str(exc)) from exc
+    try:
+        channel = connect(address, timeout=timeout)
+    except TransportError as exc:
+        raise CacheUnavailable(f"cache server {url}: {exc}") from exc
+    try:
+        channel.send(("hello", PROTOCOL, token))
+        reply = channel.recv(timeout=timeout)
+        if not (isinstance(reply, tuple) and reply and reply[0] == "welcome"):
+            reason = (
+                reply[1]
+                if isinstance(reply, tuple) and len(reply) > 1
+                else reply
+            )
+            raise CacheUnavailable(
+                f"cache server {url} rejected client: {reason}"
+            )
+        channel.send(("status",))
+        reply = channel.recv(timeout=timeout)
+        if not (
+            isinstance(reply, tuple) and len(reply) == 2 and reply[0] == "status"
+        ):
+            raise CacheUnavailable(f"cache server {url}: bad status reply")
+        try:
+            channel.send(("bye",))
+        except TransportError:
+            pass
+        return reply[1]
+    except TransportError as exc:
+        raise CacheUnavailable(f"cache server {url}: {exc}") from exc
+    finally:
+        channel.close()
+
+
 def serve_cache_forever(
     directory: str,
     address: Tuple[str, int],
@@ -349,7 +470,15 @@ def serve_cache_forever(
     """Blocking entry point for ``oolong-check cache serve``."""
     server = CacheServer(directory, address, max_bytes=max_bytes, token=token)
     server.start()
-    print(f"cache server listening on {server.url} (dir {directory})", flush=True)
+    obs_events.announce(
+        {
+            "event": "server-start",
+            "kind": "cache-server",
+            "address": server.url,
+            "directory": directory,
+            "pid": os.getpid(),
+        }
+    )
     try:
         while True:
             server._stop.wait(3600)
@@ -357,3 +486,11 @@ def serve_cache_forever(
         pass
     finally:
         server.stop()
+        obs_events.announce(
+            {
+                "event": "server-stop",
+                "kind": "cache-server",
+                "address": server.url,
+                "pid": os.getpid(),
+            }
+        )

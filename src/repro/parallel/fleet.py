@@ -42,6 +42,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.obs import events as obs_events
 from repro.oolong.program import Scope
 from repro.parallel.cache import (
     cache_key,
@@ -56,12 +57,14 @@ from repro.parallel.jobs import (
     hard_timeout_verdict,
     quarantine_verdict,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.parallel.transport import (
     ConnectionClosed,
     FramedSocket,
     FrameError,
     FramePolicy,
     ReadTimeout,
+    StatusServer,
     TransportError,
     close_listener,
     connect,
@@ -279,6 +282,13 @@ class FleetCoordinator:
             self._listener = serve(self.options.address)
         except TransportError as exc:
             raise FleetUnavailable(str(exc)) from exc
+        host, port = self.bound_address
+        obs_events.emit(
+            "server-start",
+            kind="coordinator",
+            address=f"{host}:{port}",
+            pid=os.getpid(),
+        )
         accept = threading.Thread(
             target=self._accept_loop, name="fleet-accept", daemon=True
         )
@@ -329,6 +339,7 @@ class FleetCoordinator:
             )
             process.start()
             self._local_procs.append(process)
+            obs_events.emit("worker-spawn", pid=process.pid, kind="local")
 
     # ------------------------------------------------------------------
     # Connection handling (threads feeding the event queue)
@@ -460,6 +471,7 @@ class FleetCoordinator:
             if verdict is None:
                 continue
             job.verdict = verdict
+            obs_events.emit_impl_checked(verdict, preresolved=True)
             if tracer is not None:
                 now = time.perf_counter()
                 tracer.record(
@@ -488,6 +500,7 @@ class FleetCoordinator:
                 continue
             job.verdict = payload_to_verdict(payload, job.impl, job.impl_index)
             job.cache_hit = True
+            obs_events.emit_impl_checked(job.verdict, cache_hit=True)
             if tracer is not None:
                 now = time.perf_counter()
                 tracer.record(
@@ -562,12 +575,19 @@ class FleetCoordinator:
             member = event[1]
             self.members[member.ordinal] = member
             self.counters["fleet.registrations"] += 1
+            obs_events.emit(
+                "worker-registered",
+                worker=member.name,
+                pid=member.pid,
+                kind=member.kind,
+            )
             return
         if kind == "gone":
             self._member_gone(event[1], "connection lost")
             return
         if kind == "frame-rejected":
             self.counters["fleet.frames_rejected"] += 1
+            obs_events.emit("frame-rejected", worker=event[1].name)
             # A corrupt inbound frame may have been this member's result
             # or renewal; the lease machinery will recover it. Nothing
             # else to do — the stream survived.
@@ -581,6 +601,7 @@ class FleetCoordinator:
                 record_supervisor_fault(
                     "partition-worker", member.ordinal, "raise"
                 )
+                obs_events.emit("worker-partition", worker=member.name)
                 member.partitioned = False  # one-shot per plan hit
                 self._member_gone(member, "partitioned mid-job")
                 return
@@ -613,6 +634,12 @@ class FleetCoordinator:
                 self.counters["fleet.renewals"] += 1
                 lease.lease_deadline = (
                     time.monotonic() + self.options.lease_duration
+                )
+                obs_events.emit(
+                    "lease-renewed",
+                    lease=lease.lease_id,
+                    job=lease.job.job_id,
+                    worker=member.name,
                 )
         elif kind == "result" and len(message) == 3:
             self._handle_result(member, message[1], message[2], trace_ctx)
@@ -675,6 +702,15 @@ class FleetCoordinator:
             return
         self.leases[lease_id] = lease
         self.counters["fleet.leases"] += 1
+        obs_events.emit(
+            "lease-granted",
+            lease=lease_id,
+            job=job.job_id,
+            impl=job.impl.name,
+            index=job.impl_index,
+            worker=member.name,
+            attempt=job.attempts,
+        )
 
     def _next_eligible(self, now: float) -> Optional[Job]:
         for index, job in enumerate(self._queue):
@@ -696,6 +732,7 @@ class FleetCoordinator:
             member.churn_after_result = False
             self.counters["fleet.churn"] += 1
             record_supervisor_fault("worker-churn", member.ordinal, "raise")
+            obs_events.emit("worker-churn", worker=member.name)
             member.send(("shutdown",))
             self._member_gone(member, "churned after first result")
 
@@ -746,6 +783,12 @@ class FleetCoordinator:
                 tracer.absorb(result.spans, parent=job_span)
             if result.metrics:
                 tracer.metrics.merge_dict(result.metrics)
+        obs_events.emit_impl_checked(
+            job.verdict,
+            worker=lease.worker.name,
+            attempt=result.attempt,
+            lease=lease.lease_id,
+        )
 
     def _store_in_cache(self, job: Job) -> None:
         if self.cache is None or job.key is None:
@@ -783,6 +826,12 @@ class FleetCoordinator:
                 expired = now >= lease.lease_deadline
                 if expired:
                     self.counters["fleet.lease_expiries"] += 1
+                    obs_events.emit(
+                        "lease-expired",
+                        lease=lease.lease_id,
+                        job=lease.job.job_id,
+                        worker=lease.worker.name,
+                    )
                 del self.leases[lease_id]
                 worker = lease.worker
                 self._lease_failed(
@@ -812,6 +861,16 @@ class FleetCoordinator:
             f"{detail} while this implementation was being "
             f"checked; worker {lease.worker.name} killed",
         )
+        obs_events.emit(
+            "job-hard-timeout",
+            job=job.job_id,
+            impl=job.impl.name,
+            index=job.impl_index,
+            lease=lease.lease_id,
+            worker=lease.worker.name,
+            code="OL901",
+        )
+        obs_events.emit_impl_checked(job.verdict)
         # The worker may be wedged on this job; sever it so a fresh one
         # (respawned locally, or an external rejoin) takes its place.
         self._member_gone(lease.worker, "killed after hard timeout")
@@ -820,11 +879,27 @@ class FleetCoordinator:
         job = lease.job
         if job.done:
             return
+        obs_events.emit(
+            "lease-reclaimed",
+            lease=lease.lease_id,
+            job=job.job_id,
+            worker=lease.worker.name,
+            reason=reason,
+        )
         job.attempts += 1
         job.death_reasons.append(reason)
         if job.attempts > self.options.max_retries:
             self.counters["fleet.quarantines"] += 1
             job.verdict = quarantine_verdict(job)
+            obs_events.emit(
+                "job-quarantined",
+                job=job.job_id,
+                impl=job.impl.name,
+                index=job.impl_index,
+                attempt=job.attempts,
+                code="OL902",
+            )
+            obs_events.emit_impl_checked(job.verdict)
             return
         backoff = backoff_delay(
             self.options.backoff_base,
@@ -835,10 +910,22 @@ class FleetCoordinator:
         job.eligible_at = time.monotonic() + backoff
         self.counters["fleet.requeues"] += 1
         self._queue.append(job)
+        obs_events.emit(
+            "job-retry",
+            job=job.job_id,
+            impl=job.impl.name,
+            index=job.impl_index,
+            attempt=job.attempts,
+            backoff=round(backoff, 6),
+            reason=reason,
+        )
 
     def _member_gone(self, member: _Member, reason: str) -> None:
         if self.members.pop(member.ordinal, None) is not None:
             self.counters["fleet.deregistrations"] += 1
+            obs_events.emit(
+                "worker-deregistered", worker=member.name, reason=reason
+            )
         member.alive = False
         member.channel.close()
         if member.kind == "local":
@@ -871,16 +958,33 @@ class FleetCoordinator:
         if spawn > 0:
             self._respawns += spawn
             self.counters["fleet.respawns"] += spawn
+            obs_events.emit("worker-respawn", count=spawn)
             self._spawn_local_workers(spawn)
 
     def _cancel_everything(self) -> None:
         for lease in list(self.leases.values()):
             if not lease.job.done:
                 lease.job.verdict = deadline_verdict(lease.job, before=False)
+                obs_events.emit(
+                    "job-deadline",
+                    job=lease.job.job_id,
+                    impl=lease.job.impl.name,
+                    index=lease.job.impl_index,
+                    code="OL901",
+                )
+                obs_events.emit_impl_checked(lease.job.verdict)
         self.leases.clear()
         for job in self.jobs:
             if not job.done:
                 job.verdict = deadline_verdict(job, before=True)
+                obs_events.emit(
+                    "job-deadline",
+                    job=job.job_id,
+                    impl=job.impl.name,
+                    index=job.impl_index,
+                    code="OL901",
+                )
+                obs_events.emit_impl_checked(job.verdict)
         self._queue = []
 
     # ------------------------------------------------------------------
@@ -888,6 +992,8 @@ class FleetCoordinator:
     # ------------------------------------------------------------------
 
     def shutdown(self) -> None:
+        if not self._stop.is_set():
+            obs_events.emit("server-stop", kind="coordinator", pid=os.getpid())
         self._stop.set()
         for member in list(self.members.values()):
             member.send(("shutdown",))
@@ -923,6 +1029,7 @@ def fleet_worker_main(
     reconnect_attempts: int = 5,
     reconnect_delay: float = 0.2,
     io_timeout: float = 30.0,
+    jobs_served=None,
 ) -> None:
     """One socket worker: dial the coordinator, steal, prove, repeat.
 
@@ -931,13 +1038,16 @@ def fleet_worker_main(
     disappears (the same ``getppid`` orphan watchdog the pipe workers
     use, so a SIGKILLed coordinator never leaves orphans).
     """
+    from repro.obs import events as events_module
     from repro.obs import tracer as tracer_module
     from repro.testing import faults as faults_module
 
-    # A forked child inherits the parent's ambient tracer and fault plan;
-    # both are coordinator-side concerns here (fleet faults are
-    # interpreted at the coordinator, frame faults on its policy).
+    # A forked child inherits the parent's ambient tracer, event journal
+    # and fault plan; all are coordinator-side concerns here (fleet
+    # faults are interpreted at the coordinator, frame faults on its
+    # policy, and the journal records the coordinator's view).
     tracer_module._ACTIVE = None
+    events_module._ACTIVE = None
     faults_module._ACTIVE = None
 
     if parent_pid is not None:
@@ -958,7 +1068,11 @@ def fleet_worker_main(
             time.sleep(reconnect_delay)
             continue
         outcome = _worker_session(
-            channel, token, renew_interval=renew_interval, io_timeout=io_timeout
+            channel,
+            token,
+            renew_interval=renew_interval,
+            io_timeout=io_timeout,
+            jobs_served=jobs_served,
         )
         channel.close()
         if outcome == "shutdown":
@@ -976,6 +1090,7 @@ def _worker_session(
     *,
     renew_interval: float,
     io_timeout: float,
+    jobs_served=None,
 ) -> str:
     """One registration + steal/prove loop; returns why it ended."""
     try:
@@ -1031,6 +1146,11 @@ def _worker_session(
             channel.send(("result", lease_id, result))
         except TransportError:
             return "registered"
+        if jobs_served is not None:
+            # A shared multiprocessing.Value owned by the WorkerPool: the
+            # pool's status endpoint reads the sum across its processes.
+            with jobs_served.get_lock():
+                jobs_served.value += 1
 
 
 def _prove_with_renewals(
@@ -1069,50 +1189,163 @@ def _prove_with_renewals(
     return result
 
 
+class WorkerPool:
+    """A standing pool of fleet workers dialing one coordinator address.
+
+    Owns ``jobs`` worker processes that keep dialing ``address`` until
+    stopped — the pool attaches to successive fleet coordinator runs at
+    that address. A shared counter tallies jobs served across the
+    processes, and an optional :class:`StatusServer` (``--status``)
+    answers live status queries: worker liveness, jobs served, uptime,
+    and a metrics payload renderable as Prometheus text client-side.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        *,
+        jobs: int = 2,
+        token: Optional[str] = None,
+        status_address: Optional[Tuple[str, int]] = None,
+    ):
+        self.address = address
+        self.jobs = jobs
+        self.token = token
+        self.started = time.time()
+        self._context = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        # Unsigned long, lock-protected: workers increment it after each
+        # successfully delivered result (see ``_worker_session``).
+        self._jobs_served = self._context.Value("L", 0)
+        self._procs: List = []
+        self._status_server: Optional[StatusServer] = None
+        if status_address is not None:
+            self._status_server = StatusServer(
+                status_address, self.status, token=token
+            )
+
+    @property
+    def coordinator_url(self) -> str:
+        return f"{self.address[0]}:{self.address[1]}"
+
+    @property
+    def status_url(self) -> Optional[str]:
+        if self._status_server is None:
+            return None
+        host, port = self._status_server.address
+        return f"{host}:{port}"
+
+    def start(self) -> "WorkerPool":
+        for index in range(self.jobs):
+            process = self._context.Process(
+                target=fleet_worker_main,
+                args=(self.address,),
+                kwargs={
+                    "token": self.token,
+                    "parent_pid": os.getpid(),
+                    "reconnect_attempts": 1_000_000_000,
+                    "reconnect_delay": 1.0,
+                    "jobs_served": self._jobs_served,
+                },
+                name=f"oolong-fleet-worker-{index}",
+                daemon=False,
+            )
+            process.start()
+            self._procs.append(process)
+            obs_events.emit("worker-spawn", pid=process.pid, kind="pool")
+        if self._status_server is not None:
+            self._status_server.start()
+        obs_events.emit(
+            "server-start",
+            kind="worker-pool",
+            address=self.status_url or self.coordinator_url,
+            pid=os.getpid(),
+            count=self.jobs,
+        )
+        return self
+
+    def status(self) -> dict:
+        """The pool's live status payload (served to STATUS queries)."""
+        alive = [p for p in self._procs if p.is_alive()]
+        with self._jobs_served.get_lock():
+            served = int(self._jobs_served.value)
+        metrics = MetricsRegistry()
+        metrics.counters["pool.jobs_served"] = served
+        metrics.counters["pool.workers_alive"] = len(alive)
+        metrics.counters["pool.workers_configured"] = self.jobs
+        return {
+            "kind": "worker-pool",
+            "coordinator": self.coordinator_url,
+            "pid": os.getpid(),
+            "uptime": round(time.time() - self.started, 3),
+            "workers": {
+                "configured": self.jobs,
+                "alive": len(alive),
+                "pids": [p.pid for p in alive],
+            },
+            "jobs_served": served,
+            "metrics": metrics.to_dict(),
+        }
+
+    def join(self) -> None:
+        for process in self._procs:
+            process.join()
+
+    def stop(self) -> None:
+        obs_events.emit(
+            "server-stop",
+            kind="worker-pool",
+            address=self.status_url or self.coordinator_url,
+            pid=os.getpid(),
+        )
+        if self._status_server is not None:
+            self._status_server.stop()
+        for process in self._procs:
+            if process.is_alive():
+                process.terminate()
+        for process in self._procs:
+            process.join(timeout=5.0)
+
+
 def serve_workers_forever(
     address: Tuple[str, int],
     *,
     jobs: int = 2,
     token: Optional[str] = None,
+    status_address: Optional[Tuple[str, int]] = None,
 ) -> None:
-    """Blocking entry point for ``oolong-check workers serve``.
-
-    Spawns ``jobs`` worker processes that keep dialing ``address`` until
-    interrupted — a standing pool that attaches to successive fleet
-    coordinator runs at that address.
-    """
-    context = multiprocessing.get_context(
-        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    """Blocking entry point for ``oolong-check workers serve``."""
+    pool = WorkerPool(
+        address, jobs=jobs, token=token, status_address=status_address
     )
-    procs = []
-    for index in range(jobs):
-        process = context.Process(
-            target=fleet_worker_main,
-            args=(address,),
-            kwargs={
-                "token": token,
-                "parent_pid": os.getpid(),
-                "reconnect_attempts": 1_000_000_000,
-                "reconnect_delay": 1.0,
-            },
-            name=f"oolong-fleet-worker-{index}",
-            daemon=False,
-        )
-        process.start()
-        procs.append(process)
-    print(
-        f"{jobs} fleet worker(s) dialing {address[0]}:{address[1]}",
-        flush=True,
-    )
+    pool.start()
+    record = {
+        "event": "server-start",
+        "kind": "worker-pool",
+        "coordinator": pool.coordinator_url,
+        "workers": jobs,
+        "pid": os.getpid(),
+    }
+    if pool.status_url is not None:
+        record["address"] = pool.status_url
+    obs_events.announce(record)
     try:
-        for process in procs:
-            process.join()
+        pool.join()
     except KeyboardInterrupt:
-        for process in procs:
-            if process.is_alive():
-                process.terminate()
-        for process in procs:
-            process.join(timeout=5.0)
+        pass
+    finally:
+        pool.stop()
+        obs_events.announce(
+            {
+                "event": "server-stop",
+                "kind": "worker-pool",
+                "coordinator": pool.coordinator_url,
+                "pid": os.getpid(),
+            }
+        )
 
 
 def run_fleet_checks(

@@ -41,6 +41,7 @@ from multiprocessing.connection import wait as connection_wait
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.diagnostics import Diagnostic
+from repro.obs import events as obs_events
 from repro.oolong.program import Scope
 from repro.parallel.cache import (
     ResultCache,
@@ -254,6 +255,7 @@ class WorkerSupervisor:
             if verdict is None:
                 continue
             job.verdict = verdict
+            obs_events.emit_impl_checked(verdict, preresolved=True)
             if tracer is not None:
                 now = time.perf_counter()
                 tracer.record(
@@ -286,6 +288,7 @@ class WorkerSupervisor:
                 payload, job.impl, job.impl_index
             )
             job.cache_hit = True
+            obs_events.emit_impl_checked(job.verdict, cache_hit=True)
             if tracer is not None:
                 now = time.perf_counter()
                 tracer.record(
@@ -374,6 +377,11 @@ class WorkerSupervisor:
             self._next_worker_id += 1
             self.workers.append(handle)
             alive.append(handle)
+            obs_events.emit(
+                "worker-spawn",
+                worker=str(handle.worker_id),
+                pid=handle.process.pid,
+            )
 
     def _assign(
         self, worker: _WorkerHandle, job: _Job, now: float, queue: List[_Job]
@@ -406,6 +414,14 @@ class WorkerSupervisor:
             return
         worker.job = job
         worker.job_started = now
+        obs_events.emit(
+            "job-assigned",
+            job=job.job_id,
+            worker=str(worker.worker_id),
+            attempt=job.attempts,
+            impl=job.impl.name,
+            index=job.impl_index,
+        )
         deadline = None
         if self.options.job_timeout is not None:
             deadline = now + self.options.job_timeout
@@ -490,6 +506,11 @@ class WorkerSupervisor:
                 tracer.absorb(result.spans, parent=job_span)
             if result.metrics:
                 tracer.metrics.merge_dict(result.metrics)
+        obs_events.emit_impl_checked(
+            job.verdict,
+            worker=str(worker.worker_id),
+            attempt=result.attempt,
+        )
         worker.job = None
         worker.job_deadline = None
 
@@ -520,6 +541,12 @@ class WorkerSupervisor:
         job = worker.job
         worker.job = None
         worker.kill()
+        obs_events.emit(
+            "worker-died",
+            worker=str(worker.worker_id),
+            reason=reason,
+            job=job.job_id if job is not None else None,
+        )
         if job is None or job.done:
             return
         job.attempts += 1
@@ -535,9 +562,27 @@ class WorkerSupervisor:
         )
         job.eligible_at = time.monotonic() + backoff
         queue.append(job)
+        obs_events.emit(
+            "job-retry",
+            job=job.job_id,
+            impl=job.impl.name,
+            index=job.impl_index,
+            attempt=job.attempts,
+            backoff=round(backoff, 6),
+            reason=reason,
+        )
 
     def _quarantine(self, job: _Job) -> None:
         job.verdict = quarantine_verdict(job)
+        obs_events.emit(
+            "job-quarantined",
+            job=job.job_id,
+            impl=job.impl.name,
+            index=job.impl_index,
+            attempt=job.attempts,
+            code="OL902",
+        )
+        obs_events.emit_impl_checked(job.verdict)
 
     def _police(self, queue, tracer, parent_span) -> None:
         """Detect deaths, lost heartbeats, and hard-timeout overruns."""
@@ -587,6 +632,15 @@ class WorkerSupervisor:
             f"{detail} while this implementation was being "
             f"checked; worker {worker.worker_id} killed",
         )
+        obs_events.emit(
+            "job-hard-timeout",
+            job=job.job_id,
+            impl=job.impl.name,
+            index=job.impl_index,
+            worker=str(worker.worker_id),
+            code="OL901",
+        )
+        obs_events.emit_impl_checked(job.verdict)
 
     # ------------------------------------------------------------------
     # Scope-budget cancellation and shutdown
@@ -605,9 +659,17 @@ class WorkerSupervisor:
             worker.kill()
             if job is not None and not job.done:
                 job.verdict = deadline_verdict(job, before=False)
+                obs_events.emit(
+                    "job-deadline", job=job.job_id, code="OL901"
+                )
+                obs_events.emit_impl_checked(job.verdict)
         for job in queue:
             if not job.done:
                 job.verdict = deadline_verdict(job, before=True)
+                obs_events.emit(
+                    "job-deadline", job=job.job_id, code="OL901"
+                )
+                obs_events.emit_impl_checked(job.verdict)
         queue.clear()
 
     def _shutdown_workers(self) -> None:

@@ -42,7 +42,9 @@ import socket
 import struct
 import threading
 import time
-from typing import Any, Optional, Tuple
+from typing import Any, Callable, Optional, Tuple
+
+from repro.obs import events as obs_events
 
 MAGIC = b"OLNG"
 HEADER = struct.Struct(">4sIQ")
@@ -250,6 +252,7 @@ class FramedSocket:
             if index >= 0:
                 skipped += index
                 self._pending = self._pending[index:]
+                obs_events.emit("frame-resync", skipped=skipped)
                 return
             # Keep a magic-sized tail in case the marker straddles reads.
             keep = len(MAGIC) - 1
@@ -306,6 +309,117 @@ def serve(address: Tuple[str, int], *, backlog: int = 64) -> socket.socket:
         sock.close()
         raise ConnectionClosed(f"bind to {address} failed: {exc}") from exc
     return sock
+
+
+STATUS_PROTOCOL = "oolong-status-1"
+
+
+class StatusServer:
+    """A tiny framed-socket status endpoint for long-running servers.
+
+    Wraps a caller-supplied ``snapshot`` callable (returning a plain
+    dict) behind the same frame protocol everything else speaks. The
+    worker pool mounts one beside its coordinator rendezvous; the cache
+    server answers status natively on its own port instead. Queries are
+    read-only and served on daemon threads, so a slow or hostile client
+    can never wedge the server it is observing.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        snapshot: Callable[[], dict],
+        *,
+        token: Optional[str] = None,
+    ):
+        self.snapshot = snapshot
+        self.token = token
+        self._listener = serve(address)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._accept_loop, daemon=True)
+
+    def start(self) -> "StatusServer":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        close_listener(self._listener)
+        self._thread.join(timeout=1.0)
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve_client,
+                args=(FramedSocket(sock),),
+                daemon=True,
+            ).start()
+
+    def _serve_client(self, channel: "FramedSocket") -> None:
+        try:
+            hello = channel.recv(timeout=5.0)
+            if (
+                not isinstance(hello, tuple)
+                or len(hello) != 3
+                or hello[0] != "hello"
+                or hello[1] != STATUS_PROTOCOL
+                or hello[2] != self.token
+            ):
+                channel.send(("error", "bad hello"))
+                return
+            channel.send(("welcome", STATUS_PROTOCOL))
+            while True:
+                try:
+                    request = channel.recv(timeout=30.0)
+                except FrameError:
+                    continue
+                except (ReadTimeout, ConnectionClosed):
+                    return
+                if not isinstance(request, tuple) or not request:
+                    channel.send(("error", "bad request"))
+                elif request[0] == "status":
+                    channel.send(("status", self.snapshot()))
+                elif request[0] == "bye":
+                    return
+                else:
+                    channel.send(("error", f"unknown request {request[0]!r}"))
+        except (TransportError, OSError):
+            pass
+        finally:
+            channel.close()
+
+
+def query_status(
+    address: Tuple[str, int],
+    *,
+    token: Optional[str] = None,
+    timeout: float = 5.0,
+) -> dict:
+    """One status round-trip against a :class:`StatusServer`."""
+    channel = connect(address, timeout=timeout)
+    try:
+        channel.send(("hello", STATUS_PROTOCOL, token))
+        reply = channel.recv(timeout=timeout)
+        if not (isinstance(reply, tuple) and reply and reply[0] == "welcome"):
+            raise TransportError(f"status handshake refused: {reply!r}")
+        channel.send(("status",))
+        reply = channel.recv(timeout=timeout)
+        if not (
+            isinstance(reply, tuple) and len(reply) == 2 and reply[0] == "status"
+        ):
+            raise TransportError(f"bad status reply: {reply!r}")
+        try:
+            channel.send(("bye",))
+        except TransportError:
+            pass
+        return reply[1]
+    finally:
+        channel.close()
 
 
 def close_listener(sock: socket.socket) -> None:

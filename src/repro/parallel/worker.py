@@ -111,13 +111,16 @@ def worker_main(
     time, so the orphan watchdog works even if the supervisor dies
     before this process first runs.
     """
-    # A forked child inherits the parent's ambient tracer and fault plan;
-    # both are parent-side concerns (spans are shipped explicitly, and
-    # supervisor faults are interpreted in the parent), so drop them.
+    # A forked child inherits the parent's ambient tracer, event journal
+    # and fault plan; all are parent-side concerns (spans are shipped
+    # explicitly, supervisor faults are interpreted in the parent, and
+    # the journal records the supervisor's view), so drop them.
+    from repro.obs import events as events_module
     from repro.obs import tracer as tracer_module
     from repro.testing import faults as faults_module
 
     tracer_module._ACTIVE = None
+    events_module._ACTIVE = None
     faults_module._ACTIVE = None
 
     stop_event = threading.Event()

@@ -34,6 +34,7 @@ from repro.analysis.diagnostics import (
     internal_error_diagnostic,
 )
 from repro.errors import WellFormednessError
+from repro.obs import events as obs_events
 from repro.oolong.ast import ImplDecl
 from repro.oolong.contracts import desugar_contracts
 from repro.oolong.program import Scope
@@ -455,6 +456,10 @@ def check_scope(
 
 
 def _fleet_degraded_diagnostic(detail: str) -> Diagnostic:
+    # Every OL904 the checker can issue flows through here, so this one
+    # emit covers all degradation paths (cache unreachable, fleet
+    # unavailable, mid-run collapse, cache lost mid-run).
+    obs_events.emit("degraded", code="OL904", reason=detail)
     return Diagnostic(
         code="OL904",
         message=f"{detail}; degraded to local checking",
@@ -489,6 +494,15 @@ def _check_scope_traced(
     ):
         limits = replace(limits, scope_deadline=start + limits.scope_time_budget)
     deadline = limits.scope_deadline if limits is not None else None
+
+    backend = "fleet" if fleet is not None else (
+        "parallel" if parallel is not None else "serial"
+    )
+    obs_events.emit(
+        "check-start",
+        impls=sum(len(impls) for impls in scope.impls.values()),
+        backend=backend,
+    )
 
     try:
         check_well_formed(scope)
@@ -531,6 +545,7 @@ def _check_scope_traced(
             internal_error_diagnostic("contract desugaring", exc)
         )
         report.elapsed = time.monotonic() - start
+        obs_events.emit("check-end", ok=report.ok, impls=len(report.verdicts))
         return report
     if enforce_restrictions:
         try:
@@ -638,6 +653,7 @@ def _check_scope_traced(
             )
         remote_cache.close()
     report.elapsed = time.monotonic() - start
+    obs_events.emit("check-end", ok=report.ok, impls=len(report.verdicts))
     return report
 
 
@@ -797,6 +813,7 @@ def _check_impls_serial(
                 _record_verdict_metrics(
                     verdict, cache_hit=False, discharged=True
                 )
+                obs_events.emit_impl_checked(verdict, discharged=True)
                 report.verdicts.append(verdict)
                 continue
             key = None
@@ -808,6 +825,7 @@ def _check_impls_serial(
                     if entry is not None:
                         _compare_discharge(report, discharge, entry, verdict)
                     _record_verdict_metrics(verdict, cache_hit=True)
+                    obs_events.emit_impl_checked(verdict, cache_hit=True)
                     report.verdicts.append(verdict)
                     continue
             verdict, explain_crash = _check_impl(
@@ -822,6 +840,7 @@ def _check_impls_serial(
             if entry is not None:
                 _compare_discharge(report, discharge, entry, verdict)
             _record_verdict_metrics(verdict, cache_hit=False)
+            obs_events.emit_impl_checked(verdict)
             report.verdicts.append(verdict)
 
 

@@ -354,3 +354,70 @@ class TestCrashSafety:
         while _processes_mentioning(str(path)) and time.monotonic() < deadline:
             time.sleep(0.1)
         assert not _processes_mentioning(str(path)), "orphaned fleet workers"
+
+
+class TestMetricsParity:
+    """Worker metrics merged at the coordinator equal a serial run's.
+
+    Workers run the instrumented pipeline under their own registry and
+    ship ``to_dict()`` home with each result; the coordinator merges it
+    exactly once per decided job (stale results from reclaimed leases
+    are dropped first) and records verdict/prover accounting only on its
+    own side. So every counter that is not ``fleet.*`` bookkeeping — and
+    every labelled counter — must agree exactly with a serial run of the
+    same scope, even when injected frame corruption forces resyncs and
+    lease reclaims. Timers are excluded: their counts agree but their
+    wall-clock totals cannot.
+    """
+
+    @staticmethod
+    def _measured(scope, **kwargs):
+        from repro import obs
+
+        tracer = obs.Tracer()
+        with obs.tracing(tracer):
+            report = check_scope(scope, LIMITS, **kwargs)
+        counters = {
+            name: value
+            for name, value in tracer.metrics.counters.items()
+            if not name.startswith("fleet.")
+        }
+        return report, counters, tracer.metrics.labelled
+
+    def test_fleet_metrics_match_serial(self):
+        scope = _farm_scope(5, 4)
+        serial_report, serial_counts, serial_labels = self._measured(scope)
+        fleet_report, fleet_counts, fleet_labels = self._measured(
+            scope, fleet=_fast()
+        )
+        assert _canonical(fleet_report) == _canonical(serial_report)
+        assert fleet_counts == serial_counts
+        assert fleet_labels == serial_labels
+
+    @pytest.mark.parametrize("seed", list(SEEDS)[:4])
+    def test_fleet_metrics_survive_frame_corruption(self, seed):
+        scope = _farm_scope()
+        _, serial_counts, serial_labels = self._measured(scope)
+        plan = FaultPlan.fuzz(seed, stages=("corrupt-frame",), max_hit=3)
+        with inject(plan):
+            report, fleet_counts, fleet_labels = self._measured(
+                scope, fleet=_fast()
+            )
+        detail = f"seed {seed}: {plan.describe()}"
+        assert all(
+            job.status is ImplStatus.VERIFIED for job in report.verdicts
+        ), detail
+        assert fleet_counts == serial_counts, detail
+        assert fleet_labels == serial_labels, detail
+
+    def test_timer_counts_match_serial(self):
+        scope = _farm_scope()
+        _, serial_counts, _ = self._measured(scope)
+        from repro import obs
+
+        tracer = obs.Tracer()
+        with obs.tracing(tracer):
+            check_scope(scope, LIMITS, fleet=_fast())
+        timer = tracer.metrics.timers.get("prover.check_seconds")
+        assert timer is not None
+        assert timer.count == serial_counts["prover.checks"]
