@@ -114,6 +114,7 @@ def measure_overhead(limits):
     per_emit = (time.perf_counter() - start) / batch
 
     events_seconds = emissions * per_emit
+    report_ms = _measure_report_speed()
     return {
         "programs": len(scopes),
         "crossings": crossings,
@@ -126,7 +127,58 @@ def measure_overhead(limits):
         "events_overhead_percent": round(
             100 * events_seconds / check_seconds, 4
         ),
+        "report_ms_per_10k_events": report_ms,
     }
+
+
+def _synthetic_report_journal(jobs=2500, workers=8):
+    """A fleet-shaped journal of ~4 events per job — the input class
+    ``oolong events report`` is priced on."""
+    journal = obs.EventJournal()
+    journal.emit("check-start", impls=jobs, backend="fleet")
+    for w in range(workers):
+        journal.emit("worker-registered", worker=f"w{w}", kind="remote")
+    for job in range(jobs):
+        worker = f"w{job % workers}"
+        journal.emit(
+            "lease-granted",
+            lease=job,
+            job=job,
+            impl=f"impl_{job}",
+            index=0,
+            worker=worker,
+            attempt=0,
+        )
+        journal.emit("lease-renewed", lease=job, job=job, worker=worker)
+        journal.emit(
+            "impl-checked",
+            impl=f"impl_{job}",
+            index=0,
+            status="verified",
+            lease=job,
+            worker=worker,
+            attempt=0,
+        )
+    journal.emit("check-end", ok=True, impls=jobs)
+    return journal
+
+
+def _measure_report_speed():
+    """Milliseconds ``analyze_journal`` spends per 10k journal events.
+
+    The analytics pass is offline (it runs after the fleet is done), so
+    the budget is generous — but it must stay linear-ish in the journal:
+    a 1M-event overnight soak journal has to report in seconds, not
+    minutes. Best-of-3 over a ~10k-event synthetic fleet journal.
+    """
+    from repro.obs.analyze import analyze_journal
+
+    records = _synthetic_report_journal().records
+    best = min(
+        _median_seconds(lambda: analyze_journal(records), repeats=1)
+        for _ in range(3)
+    )
+    return round(best * 1000.0 * (10_000.0 / len(records)), 2)
 
 
 def measure_for_regression():
@@ -146,6 +198,14 @@ def test_null_event_path_overhead(limits):
     row = measure_overhead(limits)
     print_row("OBS-EVENTS", **row)
     assert row["events_overhead_percent"] < 1.0
+
+
+def test_report_analytics_scale_to_big_journals(limits):
+    """``events report`` is offline, but it must stay cheap enough to run
+    on soak journals: well under a second per 10k events."""
+    ms = _measure_report_speed()
+    print_row("OBS-REPORT", report_ms_per_10k_events=ms)
+    assert ms < 1000.0
 
 
 def test_armed_tracer_is_bounded(limits):
@@ -216,7 +276,11 @@ def main():
         "benchmark": "observability",
         "unit": "overhead_percent of examples-corpus check_scope wall-clock",
         "guard": "overhead_percent < 1.0 and events_overhead_percent < 1.0",
-        "regression_keys": ["overhead_percent", "events_overhead_percent"],
+        "regression_keys": [
+            "overhead_percent",
+            "events_overhead_percent",
+            "report_ms_per_10k_events",
+        ],
         "entries": [row],
     }
     with open(BENCH_JSON, "w") as handle:

@@ -40,9 +40,17 @@ checking".
 ``--fleet N|HOST:PORT`` distributes the same jobs over a socket worker
 fleet with lease-based work stealing (``oolong-check workers serve``
 runs a standing pool; ``oolong-check cache serve`` a shared result-cache
-server for ``--cache-url``). A fleet or cache server that cannot be
-reached degrades the run to local checking with an OL904 warning — it
-never fails it. See README "Distributed checking".
+server for ``--cache-url``; both take ``--http HOST:PORT`` to expose
+/metrics, /healthz, and /status to plain HTTP scrapers). A fleet or
+cache server that cannot be reached degrades the run to local checking
+with an OL904 warning — it never fails it. See README "Distributed
+checking".
+``oolong-check events report FILE`` analyzes a ``--events`` journal
+after the fact (utilization, lease latencies, OL901–OL904 summaries,
+cache effectiveness, the critical path); ``events export --trace OUT
+FILE`` converts a journal into a Chrome trace. ``workers status`` and
+``cache status`` exit 3 when nothing answered and 4 when the server
+refused the handshake, so scripts can tell "down" from "wrong server".
 Sources are parsed per file with panic-mode error recovery, so every
 diagnostic position names the file it points into and *all* syntax
 errors across all files are reported in one run (as ``OL001``/``OL002``
@@ -106,6 +114,15 @@ def _fail_on_value(value: str) -> str:
     parse with a clear message), keep the raw string on ``args``."""
     _parse_fail_on(value)
     return value
+
+
+# Exit codes for `workers status` / `cache status`, distinct so a
+# scripted health check can tell "down" from "wrong server": 2 stays the
+# generic usage/parse error, 3 means nothing answered (connection
+# failed), 4 means something answered but refused the handshake (wrong
+# protocol or token).
+EXIT_STATUS_DOWN = 3
+EXIT_STATUS_REJECTED = 4
 
 
 def _nonneg_int(value: str) -> int:
@@ -255,6 +272,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(OL902), cache traffic (OL903), degradation (OL904) — one JSON "
         "record per line, conforming to the in-tree events.schema.json; "
         "written even when the run fails",
+    )
+    parser.add_argument(
+        "--events-append",
+        action="store_true",
+        help="append to --events FILE instead of truncating it; each run "
+        "keeps its own run_id, so the multi-run file still validates "
+        "and 'events report --run' can pick one run out",
     )
     parser.add_argument(
         "--progress",
@@ -450,6 +474,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return workers_main(argv[1:])
     if argv and argv[0] == "cache":
         return cache_main(argv[1:])
+    if argv and argv[0] == "events":
+        return events_main(argv[1:])
     return check_main(argv)
 
 
@@ -630,7 +656,11 @@ def _write_exports(args, tracer, outcome, journal=None) -> None:
             lambda path: metrics_writer(path, tracer.metrics),
         )
     if journal is not None:
-        _export("events", args.events, journal.write)
+        _export(
+            "events",
+            args.events,
+            lambda path: journal.write(path, append=args.events_append),
+        )
     if args.explain:
         text = _render_explanations(args, report)
         if args.explain_out:
@@ -780,11 +810,31 @@ def workers_main(argv: Optional[List[str]] = None) -> int:
         "(port 0 picks an ephemeral port)",
     )
     parser.add_argument(
+        "--http",
+        metavar="HOST:PORT",
+        default=None,
+        help="with serve: also expose /metrics (Prometheus text), "
+        "/healthz, and /status (JSON) over plain HTTP at this address",
+    )
+    parser.add_argument(
         "--events",
         metavar="FILE",
         default=None,
         help="with serve: write the pool's JSONL event journal to FILE "
         "on shutdown",
+    )
+    parser.add_argument(
+        "--events-append",
+        action="store_true",
+        help="append to --events FILE instead of truncating it",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=_nonneg_float,
+        metavar="SECONDS",
+        default=5.0,
+        help="with status: bound the connect/read round-trip "
+        "(default: 5)",
     )
     parser.add_argument(
         "--metrics-format",
@@ -802,13 +852,32 @@ def workers_main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     if args.action == "status":
-        from repro.parallel.transport import TransportError, query_status
+        from repro.parallel.transport import (
+            StatusRejected,
+            TransportError,
+            query_status,
+        )
 
         try:
-            payload = query_status(address, token=args.token)
+            payload = query_status(
+                address, token=args.token, timeout=args.timeout
+            )
+        except StatusRejected as error:
+            print(f"error: {error}", file=sys.stderr)
+            print(
+                "hint: something answered but refused the handshake — "
+                "wrong server, protocol, or --token?",
+                file=sys.stderr,
+            )
+            return EXIT_STATUS_REJECTED
         except TransportError as error:
             print(f"error: {error}", file=sys.stderr)
-            return 2
+            print(
+                f"hint: nothing answered at {args.address} — "
+                "is the server running?",
+                file=sys.stderr,
+            )
+            return EXIT_STATUS_DOWN
         print(_render_status(payload, args.metrics_format))
         return 0
     from repro.obs import journaling
@@ -824,6 +893,13 @@ def workers_main(argv: Optional[List[str]] = None) -> int:
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    http_address = None
+    if args.http is not None:
+        try:
+            http_address = parse_address(args.http)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     journal = _journal_for_server(args.events)
     try:
         with journaling(journal):
@@ -832,12 +908,17 @@ def workers_main(argv: Optional[List[str]] = None) -> int:
                 jobs=args.jobs,
                 token=args.token,
                 status_address=status_address,
+                http_address=http_address,
             )
     except KeyboardInterrupt:
         pass
     finally:
         if journal is not None:
-            _export("events", args.events, journal.write)
+            _export(
+                "events",
+                args.events,
+                lambda path: journal.write(path, append=args.events_append),
+            )
     return 0
 
 
@@ -883,11 +964,31 @@ def cache_main(argv: Optional[List[str]] = None) -> int:
         help="shared secret clients must present",
     )
     parser.add_argument(
+        "--http",
+        metavar="HOST:PORT",
+        default=None,
+        help="with serve: also expose /metrics (Prometheus text), "
+        "/healthz, and /status (JSON) over plain HTTP at this address",
+    )
+    parser.add_argument(
         "--events",
         metavar="FILE",
         default=None,
         help="with serve: write the server's JSONL event journal to "
         "FILE on shutdown",
+    )
+    parser.add_argument(
+        "--events-append",
+        action="store_true",
+        help="append to --events FILE instead of truncating it",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=_nonneg_float,
+        metavar="SECONDS",
+        default=5.0,
+        help="with status: bound the connect/read round-trip "
+        "(default: 5)",
     )
     parser.add_argument(
         "--metrics-format",
@@ -905,18 +1006,44 @@ def cache_main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     if args.action == "status":
-        from repro.parallel.cacheserver import CacheUnavailable, cache_status
+        from repro.parallel.cacheserver import (
+            CacheRejected,
+            CacheUnavailable,
+            cache_status,
+        )
 
         try:
-            payload = cache_status(args.address, token=args.token)
+            payload = cache_status(
+                args.address, token=args.token, timeout=args.timeout
+            )
+        except CacheRejected as error:
+            print(f"error: {error}", file=sys.stderr)
+            print(
+                "hint: something answered but refused the handshake — "
+                "wrong server, protocol, or --token?",
+                file=sys.stderr,
+            )
+            return EXIT_STATUS_REJECTED
         except CacheUnavailable as error:
             print(f"error: {error}", file=sys.stderr)
-            return 2
+            print(
+                f"hint: nothing answered at {args.address} — "
+                "is the server running?",
+                file=sys.stderr,
+            )
+            return EXIT_STATUS_DOWN
         print(_render_status(payload, args.metrics_format))
         return 0
     if not args.directory:
         print("error: serve requires --dir PATH", file=sys.stderr)
         return 2
+    http_address = None
+    if args.http is not None:
+        try:
+            http_address = parse_address(args.http)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     from repro.obs import journaling
     from repro.parallel.cacheserver import serve_cache_forever
 
@@ -928,6 +1055,7 @@ def cache_main(argv: Optional[List[str]] = None) -> int:
                 address,
                 max_bytes=args.max_bytes or None,
                 token=args.token,
+                http_address=http_address,
             )
     except KeyboardInterrupt:
         pass
@@ -936,7 +1064,124 @@ def cache_main(argv: Optional[List[str]] = None) -> int:
         return 2
     finally:
         if journal is not None:
-            _export("events", args.events, journal.write)
+            _export(
+                "events",
+                args.events,
+                lambda path: journal.write(path, append=args.events_append),
+            )
+    return 0
+
+
+def events_main(argv: Optional[List[str]] = None) -> int:
+    """``oolong-check events report|export FILE`` — journal analytics.
+
+    ``report`` reconstructs one run from its JSONL event journal
+    (``--events`` output): per-worker utilization and idle gaps, lease
+    latency percentiles, OL901–OL904 fault summaries correlated to
+    implementations, cache effectiveness, and the critical path that
+    bounded wall-clock — as text or schema-pinned JSON
+    (``report.schema.json``). ``export --trace OUT`` converts the
+    journal into a Chrome trace (open in Perfetto), reconstructing the
+    timeline even for fleet runs over external worker pools whose
+    in-process spans never came home.
+    """
+    parser = argparse.ArgumentParser(
+        prog="oolong-check events",
+        description=(
+            "Analyze a JSONL event journal produced by --events: render "
+            "a run report, or export the journal as a Chrome trace."
+        ),
+    )
+    parser.add_argument(
+        "action",
+        choices=("report", "export"),
+        help="report: analyze one run and render it; export: convert "
+        "the journal to a Chrome trace (requires --trace)",
+    )
+    parser.add_argument(
+        "file",
+        metavar="FILE",
+        help="the JSONL event journal to analyze",
+    )
+    parser.add_argument(
+        "--run",
+        metavar="RUN_ID",
+        default=None,
+        help="select one run of a multi-run (--events-append) journal "
+        "(default: the first run containing a check-start)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="with report: render as human text (default) or as JSON "
+        "conforming to the in-tree report.schema.json",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="with report: write the rendering to FILE instead of "
+        "stdout",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="with export: write the Chrome trace JSON to FILE",
+    )
+    args = parser.parse_args(argv)
+    import json
+
+    from repro.obs import read_journal
+    from repro.obs.analyze import (
+        AnalysisError,
+        analyze_journal,
+        journal_chrome_trace,
+        render_report_text,
+    )
+
+    try:
+        records = read_journal(args.file)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.action == "export":
+        if not args.trace:
+            print("error: export requires --trace FILE", file=sys.stderr)
+            return 2
+        try:
+            payload = journal_chrome_trace(records, args.run)
+        except AnalysisError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        try:
+            _write_text(args.trace, json.dumps(payload, sort_keys=True))
+        except OSError as error:
+            print(f"error: cannot write trace: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"wrote {args.trace} ({len(payload['traceEvents'])} trace "
+            "events)"
+        )
+        return 0
+    try:
+        report = analyze_journal(records, args.run)
+    except AnalysisError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        text = json.dumps(report, indent=2, sort_keys=True)
+    else:
+        text = render_report_text(report).rstrip("\n")
+    if args.out:
+        try:
+            _write_text(args.out, text)
+        except OSError as error:
+            print(f"error: cannot write report: {error}", file=sys.stderr)
+            return 2
+    else:
+        print(text)
     return 0
 
 

@@ -28,6 +28,13 @@ Typical use::
     print(obs.text_report(tracer))
 """
 
+from repro.obs.analyze import (
+    analyze_journal,
+    journal_chrome_trace,
+    render_report_text,
+    run_ids,
+    write_report,
+)
 from repro.obs.events import (
     EVENT_KINDS,
     EventJournal,
@@ -70,9 +77,11 @@ from repro.obs.explain import (
     explain_result,
     inclusion_chain,
 )
+from repro.obs.httpd import TelemetryHTTPServer, render_prometheus
 from repro.obs.schema import (
     validate_event,
     validate_event_journal,
+    validate_events_report,
     validate_explanation_report,
 )
 
@@ -89,9 +98,11 @@ __all__ = [
     "ProgressRenderer",
     "STAGES",
     "Span",
+    "TelemetryHTTPServer",
     "TimerStat",
     "Tracer",
     "active",
+    "analyze_journal",
     "attach_to_trace",
     "chrome_trace",
     "current",
@@ -99,19 +110,25 @@ __all__ = [
     "explain_result",
     "inclusion_chain",
     "journal",
+    "journal_chrome_trace",
     "journaling",
     "metrics",
     "metrics_json",
     "prometheus_name",
     "read_journal",
+    "render_prometheus",
+    "render_report_text",
+    "run_ids",
     "span",
     "text_report",
     "tracing",
     "validate_chrome_trace",
     "validate_event",
     "validate_event_journal",
+    "validate_events_report",
     "validate_explanation_report",
     "write_chrome_trace",
     "write_metrics",
     "write_metrics_prometheus",
+    "write_report",
 ]

@@ -146,11 +146,19 @@ class EventJournal:
         lines = [json.dumps(record, sort_keys=True) for record in records]
         return "\n".join(lines) + ("\n" if lines else "")
 
-    def write(self, path: str) -> None:
-        """Write the journal as JSON Lines (one record per line)."""
+    def write(self, path: str, append: bool = False) -> None:
+        """Write the journal as JSON Lines (one record per line).
+
+        By default an existing file is truncated — successive runs do
+        not interleave illegibly. With ``append`` the journal is added
+        after whatever is already there; each run keeps its own
+        ``run_id``, so :func:`repro.obs.schema.validate_event_journal`
+        (which partitions its seq/t_mono invariants per run) still
+        accepts the multi-run file.
+        """
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
+        with open(path, "a" if append else "w", encoding="utf-8") as handle:
             handle.write(self.to_jsonl())
 
 

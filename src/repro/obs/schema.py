@@ -145,3 +145,8 @@ def validate_event_journal(records: Any) -> List[str]:
             )
         last_mono[run_id] = mono
     return errors
+
+
+def validate_events_report(payload: Any) -> List[str]:
+    """Violations of an ``oolong events report`` JSON payload."""
+    return validate(payload, load_schema("report.schema.json"))

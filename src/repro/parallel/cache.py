@@ -331,7 +331,13 @@ class ResultCache:
             self._reject(key, reason or "entry rejected")
             return None
         self.hits += 1
-        obs_events.emit("cache-hit", key=_event_key(key))
+        try:
+            # Entry size approximates the prover work the hit avoided;
+            # the journal analytics sum it as "bytes saved".
+            size = os.path.getsize(path)
+        except OSError:
+            size = None
+        obs_events.emit("cache-hit", key=_event_key(key), bytes=size)
         try:
             os.utime(path)  # refresh recency so LRU eviction spares it
         except OSError:

@@ -25,12 +25,14 @@ a mid-run cache outage must never fail or stall proving.
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 import time
 from typing import List, Optional, Tuple
 
 from repro.obs import events as obs_events
+from repro.obs.httpd import TelemetryHTTPServer
 from repro.obs.metrics import MetricsRegistry
 from repro.parallel.cache import (
     ResultCache,
@@ -57,6 +59,15 @@ class CacheUnavailable(Exception):
     """The cache server could not be reached (or rejected the client)."""
 
 
+class CacheRejected(CacheUnavailable):
+    """The cache server answered but refused the handshake.
+
+    Distinct from plain :class:`CacheUnavailable` (nothing listening)
+    so scripted health checks can tell "down" from "wrong server or
+    token" — the CLI maps the two onto different exit codes.
+    """
+
+
 class CacheServer:
     """Serve one :class:`ResultCache` directory to many clients.
 
@@ -72,11 +83,15 @@ class CacheServer:
         *,
         max_bytes: Optional[int] = None,
         token: Optional[str] = None,
+        http_address: Optional[Tuple[str, int]] = None,
     ):
         self.cache = ResultCache(directory, max_bytes=max_bytes)
         self.token = token
         self._listener = serve(address)
         self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._http_server: Optional[TelemetryHTTPServer] = None
+        if http_address is not None:
+            self._http_server = TelemetryHTTPServer(http_address, self.status)
         self.metrics = MetricsRegistry()
         self.started = time.time()
         self._lock = threading.Lock()
@@ -110,7 +125,15 @@ class CacheServer:
         )
         thread.start()
         self._accept_thread = thread
+        if self._http_server is not None:
+            self._http_server.start()
         return self
+
+    @property
+    def http_url(self) -> Optional[str]:
+        if self._http_server is None:
+            return None
+        return self._http_server.url
 
     def stop(self) -> None:
         if not self._stop.is_set():
@@ -122,6 +145,8 @@ class CacheServer:
             )
         self._stop.set()
         close_listener(self._listener)
+        if self._http_server is not None:
+            self._http_server.stop()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=2.0)
         for thread in self._threads:
@@ -379,7 +404,13 @@ class RemoteCache:
             )
             return None
         self.hits += 1
-        obs_events.emit("cache-hit", key=_event_key(key), backend="remote")
+        try:
+            size = len(json.dumps(reply[1]))
+        except (TypeError, ValueError):
+            size = None
+        obs_events.emit(
+            "cache-hit", key=_event_key(key), backend="remote", bytes=size
+        )
         return verdict
 
     def store(self, key: str, verdict_payload: dict, *, impl: str, index: int) -> bool:
@@ -440,7 +471,7 @@ def cache_status(
                 if isinstance(reply, tuple) and len(reply) > 1
                 else reply
             )
-            raise CacheUnavailable(
+            raise CacheRejected(
                 f"cache server {url} rejected client: {reason}"
             )
         channel.send(("status",))
@@ -466,19 +497,27 @@ def serve_cache_forever(
     *,
     max_bytes: Optional[int] = None,
     token: Optional[str] = None,
+    http_address: Optional[Tuple[str, int]] = None,
 ) -> None:
     """Blocking entry point for ``oolong-check cache serve``."""
-    server = CacheServer(directory, address, max_bytes=max_bytes, token=token)
-    server.start()
-    obs_events.announce(
-        {
-            "event": "server-start",
-            "kind": "cache-server",
-            "address": server.url,
-            "directory": directory,
-            "pid": os.getpid(),
-        }
+    server = CacheServer(
+        directory,
+        address,
+        max_bytes=max_bytes,
+        token=token,
+        http_address=http_address,
     )
+    server.start()
+    record = {
+        "event": "server-start",
+        "kind": "cache-server",
+        "address": server.url,
+        "directory": directory,
+        "pid": os.getpid(),
+    }
+    if server.http_url is not None:
+        record["http"] = server.http_url
+    obs_events.announce(record)
     try:
         while True:
             server._stop.wait(3600)

@@ -57,6 +57,7 @@ from repro.parallel.jobs import (
     hard_timeout_verdict,
     quarantine_verdict,
 )
+from repro.obs.httpd import TelemetryHTTPServer
 from repro.obs.metrics import MetricsRegistry
 from repro.parallel.transport import (
     ConnectionClosed,
@@ -66,6 +67,8 @@ from repro.parallel.transport import (
     ReadTimeout,
     StatusServer,
     TransportError,
+    clock_offset,
+    clock_sample,
     close_listener,
     connect,
     parse_address,
@@ -171,11 +174,22 @@ class _Lease:
 class _Member:
     """Coordinator-side view of one registered worker."""
 
-    def __init__(self, ordinal: int, channel: FramedSocket, kind: str, pid: Optional[int]):
+    def __init__(
+        self,
+        ordinal: int,
+        channel: FramedSocket,
+        kind: str,
+        pid: Optional[int],
+        clock_offset: float = 0.0,
+    ):
         self.ordinal = ordinal
         self.channel = channel
         self.kind = kind  # "local" or "remote"
         self.pid = pid
+        #: Seconds to add to this worker's perf_counter timestamps to
+        #: land them in the coordinator's clock domain (see
+        #: ``transport.clock_offset``); 0.0 for same-host members.
+        self.clock_offset = clock_offset
         self.name = f"{kind}-{ordinal}"
         self.alive = True
         self.partitioned = False
@@ -369,7 +383,7 @@ class FleetCoordinator:
             return
         if (
             not isinstance(hello, tuple)
-            or len(hello) != 4
+            or len(hello) not in (4, 5)
             or hello[0] != "hello"
             or hello[1] != PROTOCOL
         ):
@@ -388,11 +402,26 @@ class FleetCoordinator:
             return
         pid = hello[3] if isinstance(hello[3], int) else None
         local_pids = {p.pid for p in self._local_procs}
+        kind = "local" if pid in local_pids else "remote"
+        # A 5-tuple hello carries the worker's (wall, perf) clock sample
+        # so shipped span shards can be rebased onto our clock. Local
+        # fork workers share our perf_counter domain already — keep
+        # their offset at an exact 0.0 rather than an estimated ~0.
+        offset = 0.0
+        if kind == "remote" and len(hello) == 5:
+            sample = hello[4]
+            if (
+                isinstance(sample, tuple)
+                and len(sample) == 2
+                and all(isinstance(v, (int, float)) for v in sample)
+            ):
+                offset = clock_offset(sample)
         member = _Member(
             self._bump_ordinal(),
             channel,
-            kind="local" if pid in local_pids else "remote",
+            kind=kind,
             pid=pid,
+            clock_offset=offset,
         )
         if member.ordinal in self._partition_faults:
             member.partitioned = True
@@ -580,6 +609,11 @@ class FleetCoordinator:
                 worker=member.name,
                 pid=member.pid,
                 kind=member.kind,
+                offset=(
+                    round(member.clock_offset, 6)
+                    if member.clock_offset
+                    else None
+                ),
             )
             return
         if kind == "gone":
@@ -780,7 +814,11 @@ class FleetCoordinator:
                 },
             )
             if result.spans:
-                tracer.absorb(result.spans, parent=job_span)
+                tracer.absorb(
+                    result.spans,
+                    parent=job_span,
+                    offset=lease.worker.clock_offset,
+                )
             if result.metrics:
                 tracer.metrics.merge_dict(result.metrics)
         obs_events.emit_impl_checked(
@@ -1094,7 +1132,7 @@ def _worker_session(
 ) -> str:
     """One registration + steal/prove loop; returns why it ended."""
     try:
-        channel.send(("hello", PROTOCOL, token, os.getpid()))
+        channel.send(("hello", PROTOCOL, token, os.getpid(), clock_sample()))
         welcome = channel.recv(timeout=io_timeout)
     except TransportError:
         return "lost"
@@ -1198,6 +1236,8 @@ class WorkerPool:
     processes, and an optional :class:`StatusServer` (``--status``)
     answers live status queries: worker liveness, jobs served, uptime,
     and a metrics payload renderable as Prometheus text client-side.
+    An optional :class:`~repro.obs.httpd.TelemetryHTTPServer`
+    (``--http``) exposes the same payload to plain HTTP scrapers.
     """
 
     def __init__(
@@ -1207,6 +1247,7 @@ class WorkerPool:
         jobs: int = 2,
         token: Optional[str] = None,
         status_address: Optional[Tuple[str, int]] = None,
+        http_address: Optional[Tuple[str, int]] = None,
     ):
         self.address = address
         self.jobs = jobs
@@ -1226,6 +1267,9 @@ class WorkerPool:
             self._status_server = StatusServer(
                 status_address, self.status, token=token
             )
+        self._http_server: Optional[TelemetryHTTPServer] = None
+        if http_address is not None:
+            self._http_server = TelemetryHTTPServer(http_address, self.status)
 
     @property
     def coordinator_url(self) -> str:
@@ -1237,6 +1281,12 @@ class WorkerPool:
             return None
         host, port = self._status_server.address
         return f"{host}:{port}"
+
+    @property
+    def http_url(self) -> Optional[str]:
+        if self._http_server is None:
+            return None
+        return self._http_server.url
 
     def start(self) -> "WorkerPool":
         for index in range(self.jobs):
@@ -1258,6 +1308,8 @@ class WorkerPool:
             obs_events.emit("worker-spawn", pid=process.pid, kind="pool")
         if self._status_server is not None:
             self._status_server.start()
+        if self._http_server is not None:
+            self._http_server.start()
         obs_events.emit(
             "server-start",
             kind="worker-pool",
@@ -1303,6 +1355,8 @@ class WorkerPool:
         )
         if self._status_server is not None:
             self._status_server.stop()
+        if self._http_server is not None:
+            self._http_server.stop()
         for process in self._procs:
             if process.is_alive():
                 process.terminate()
@@ -1316,10 +1370,15 @@ def serve_workers_forever(
     jobs: int = 2,
     token: Optional[str] = None,
     status_address: Optional[Tuple[str, int]] = None,
+    http_address: Optional[Tuple[str, int]] = None,
 ) -> None:
     """Blocking entry point for ``oolong-check workers serve``."""
     pool = WorkerPool(
-        address, jobs=jobs, token=token, status_address=status_address
+        address,
+        jobs=jobs,
+        token=token,
+        status_address=status_address,
+        http_address=http_address,
     )
     pool.start()
     record = {
@@ -1331,6 +1390,8 @@ def serve_workers_forever(
     }
     if pool.status_url is not None:
         record["address"] = pool.status_url
+    if pool.http_url is not None:
+        record["http"] = pool.http_url
     obs_events.announce(record)
     try:
         pool.join()

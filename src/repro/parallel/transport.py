@@ -65,6 +65,15 @@ class ConnectionClosed(TransportError):
     """The peer is gone (EOF, reset, or an unrecoverable stream)."""
 
 
+class StatusRejected(TransportError):
+    """The status server answered but refused the handshake.
+
+    Distinct from :class:`ConnectionClosed` (nothing listening) so
+    scripted health checks can tell "down" from "wrong server or
+    token" — the CLI maps the two onto different exit codes.
+    """
+
+
 class FrameError(TransportError):
     """One frame was rejected (bad checksum, bad length, garbage bytes)
     but the stream was resynchronized — the caller may simply ``recv``
@@ -311,6 +320,36 @@ def serve(address: Tuple[str, int], *, backlog: int = 64) -> socket.socket:
     return sock
 
 
+# ----------------------------------------------------------------------
+# Clock alignment
+#
+# Each process's span timestamps live in its own ``perf_counter`` domain
+# (an arbitrary epoch). A worker ships one (wall, perf) sample in its
+# registration hello; the coordinator compares it against its own pair
+# to estimate the additive offset mapping the worker's perf domain into
+# the coordinator's, assuming wall clocks agree (exact on one host,
+# NTP-accurate across machines). ``Tracer.absorb(offset=...)`` then
+# rebases shipped spans so a fleet run over remote pools assembles into
+# one coherent trace.
+
+
+def clock_sample() -> Tuple[float, float]:
+    """This process's ``(time.time(), time.perf_counter())`` pair."""
+    return (time.time(), time.perf_counter())
+
+
+def clock_offset(sample: Tuple[float, float]) -> float:
+    """Seconds to add to the sampler's perf domain to land in ours.
+
+    For a remote perf timestamp ``p``, ``p + clock_offset(sample)`` is
+    the local ``perf_counter`` value at (approximately) the same true
+    instant. The estimate is off by the network latency between the
+    sample and its receipt plus any wall-clock skew; consumers clamp.
+    """
+    remote_wall, remote_perf = sample
+    return (time.perf_counter() - time.time()) - (remote_perf - remote_wall)
+
+
 STATUS_PROTOCOL = "oolong-status-1"
 
 
@@ -406,7 +445,7 @@ def query_status(
         channel.send(("hello", STATUS_PROTOCOL, token))
         reply = channel.recv(timeout=timeout)
         if not (isinstance(reply, tuple) and reply and reply[0] == "welcome"):
-            raise TransportError(f"status handshake refused: {reply!r}")
+            raise StatusRejected(f"status handshake refused: {reply!r}")
         channel.send(("status",))
         reply = channel.recv(timeout=timeout)
         if not (

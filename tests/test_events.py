@@ -24,7 +24,13 @@ import pytest
 
 from repro import obs
 from repro.api import check_program, check_program_resilient
-from repro.cli import cache_main, main, workers_main
+from repro.cli import (
+    EXIT_STATUS_DOWN,
+    EXIT_STATUS_REJECTED,
+    cache_main,
+    main,
+    workers_main,
+)
 from repro.corpus.generators import generate_impl_farm
 from repro.obs import events as events_module
 from repro.obs.metrics import MetricsRegistry, prometheus_name
@@ -642,11 +648,47 @@ class TestStatusEndpoints:
         finally:
             server.stop()
 
-    def test_status_against_nothing_fails_cleanly(self, capsys):
-        assert workers_main(["status", "127.0.0.1:1"]) == 2
-        assert cache_main(["status", "127.0.0.1:1"]) == 2
+    def test_status_against_nothing_exits_down(self, capsys):
+        """Connection-refused means "down": exit 3 plus a stderr hint."""
+        assert (
+            workers_main(["status", "127.0.0.1:1", "--timeout", "1"])
+            == EXIT_STATUS_DOWN
+        )
+        assert (
+            cache_main(["status", "127.0.0.1:1", "--timeout", "1"])
+            == EXIT_STATUS_DOWN
+        )
         err = capsys.readouterr().err
         assert "error:" in err
+        assert "is the server running?" in err
+
+    def test_status_handshake_rejection_exits_distinctly(self, capsys):
+        """A live server with the wrong token is "wrong server", not
+        "down": exit 4, and the hint names the token."""
+        server = StatusServer(
+            ("127.0.0.1", 0), lambda: {}, token="sekrit"
+        ).start()
+        try:
+            host, port = server.address
+            assert (
+                workers_main(
+                    ["status", f"{host}:{port}", "--timeout", "2"]
+                )
+                == EXIT_STATUS_REJECTED
+            )
+        finally:
+            server.stop()
+        err = capsys.readouterr().err
+        assert "refused the handshake" in err
+
+    def test_cache_status_rejection_exits_distinctly(self, tmp_path, capsys):
+        with CacheServer(str(tmp_path / "cache"), token="sekrit") as server:
+            assert (
+                cache_main(["status", server.url, "--timeout", "2"])
+                == EXIT_STATUS_REJECTED
+            )
+        err = capsys.readouterr().err
+        assert "refused the handshake" in err
 
 
 # ----------------------------------------------------------------------
@@ -705,3 +747,123 @@ class TestCli:
         kinds = {record["event"] for record in records}
         assert {"server-start", "lease-granted", "server-stop"} <= kinds
         assert "checked 1/1 impls" in capsys.readouterr().err
+
+    def test_events_default_truncates_previous_run(
+        self, write_source, tmp_path, capsys
+    ):
+        source = write_source("good.oolong", RATIONAL)
+        out = str(tmp_path / "events.jsonl")
+        assert main([source, "--events", out]) == 0
+        first = obs.read_journal(out)
+        assert main([source, "--events", out]) == 0
+        second = obs.read_journal(out)
+        runs = {record["run_id"] for record in second}
+        assert len(runs) == 1
+        assert runs != {record["run_id"] for record in first}
+
+    def test_events_append_accumulates_runs(
+        self, write_source, tmp_path, capsys
+    ):
+        source = write_source("good.oolong", RATIONAL)
+        out = str(tmp_path / "events.jsonl")
+        assert main([source, "--events", out]) == 0
+        assert main([source, "--events", out, "--events-append"]) == 0
+        records = obs.read_journal(out)
+        assert obs.validate_event_journal(records) == []
+        assert len({record["run_id"] for record in records}) == 2
+
+
+# ----------------------------------------------------------------------
+# HTTP scraping
+# ----------------------------------------------------------------------
+
+
+def _http_get(url):
+    import urllib.request
+
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+class TestHttpEndpoints:
+    def test_worker_pool_serves_http(self):
+        from repro.obs.httpd import render_prometheus
+        from repro.parallel.fleet import WorkerPool
+
+        pool = WorkerPool(
+            ("127.0.0.1", 1), jobs=0, http_address=("127.0.0.1", 0)
+        ).start()
+        try:
+            base = f"http://{pool.http_url}"
+            status, body = _http_get(base + "/healthz")
+            assert status == 200 and body == "ok\n"
+            status, body = _http_get(base + "/status")
+            payload = json.loads(body)
+            assert payload["kind"] == "worker-pool"
+            status, body = _http_get(base + "/metrics")
+            assert status == 200
+            assert "oolong_pool_jobs_served 0" in body
+            # The scrape endpoint and the status protocol render the
+            # very same counters.
+            assert body == render_prometheus(pool.status())
+        finally:
+            pool.stop()
+
+    def test_cache_server_serves_http(self, tmp_path):
+        with CacheServer(
+            str(tmp_path / "cache"), http_address=("127.0.0.1", 0)
+        ) as server:
+            base = f"http://{server.http_url}"
+            status, body = _http_get(base + "/healthz")
+            assert status == 200 and body == "ok\n"
+            status, body = _http_get(base + "/status")
+            payload = json.loads(body)
+            assert payload["kind"] == "cache-server"
+            status, body = _http_get(base + "/metrics")
+            assert status == 200
+            # traffic shows up in later scrapes
+            from repro.parallel.cacheserver import RemoteCache
+
+            scope = Scope.from_source(RATIONAL)
+            impl = next(iter(scope.impls.values()))[0]
+            key = cache_key(scope, impl, 0, None)
+            client = RemoteCache.connect(server.url)
+            assert client.load(key) is None
+            client.close()
+            _, body = _http_get(base + "/metrics")
+            assert "oolong_cacheserver_misses 1" in body
+
+    def test_unknown_path_is_404(self):
+        from repro.obs.httpd import TelemetryHTTPServer
+
+        server = TelemetryHTTPServer(("127.0.0.1", 0), lambda: {}).start()
+        try:
+            import urllib.error
+            import urllib.request
+
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                urllib.request.urlopen(
+                    f"http://{server.url}/nope", timeout=5
+                )
+            assert exc_info.value.code == 404
+        finally:
+            server.stop()
+
+    def test_snapshot_failure_is_500(self):
+        from repro.obs.httpd import TelemetryHTTPServer
+
+        def broken():
+            raise RuntimeError("boom")
+
+        server = TelemetryHTTPServer(("127.0.0.1", 0), broken).start()
+        try:
+            import urllib.error
+            import urllib.request
+
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                urllib.request.urlopen(
+                    f"http://{server.url}/status", timeout=5
+                )
+            assert exc_info.value.code == 500
+        finally:
+            server.stop()
