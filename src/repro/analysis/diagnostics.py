@@ -83,6 +83,7 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "OL902": (Severity.ERROR, "worker process died repeatedly; job quarantined"),
     "OL903": (Severity.WARNING, "result cache entry rejected"),
     "OL904": (Severity.WARNING, "distributed backend unavailable; degraded to local checking"),
+    "OL905": (Severity.WARNING, "run ledger damaged or stale; affected verdicts recomputed"),
 }
 
 #: Legacy rule-tag aliases (the strings PivotViolation has always used).
@@ -109,6 +110,7 @@ RULE_ALIASES: Dict[str, str] = {
     "internal-error": "OL900",
     "deadline": "OL901",
     "fleet-degraded": "OL904",
+    "ledger-recovery": "OL905",
 }
 
 _CODE_TO_RULE = {code: rule for rule, code in RULE_ALIASES.items()}
@@ -185,6 +187,40 @@ class Diagnostic:
 def diagnostic_from_error(error: ReproError, code: str = "OL100") -> Diagnostic:
     """Wrap a raised checker error as a diagnostic (default: OL100)."""
     return Diagnostic(code=code, message=error.message, position=error.position)
+
+
+def _position_from_dict(data: Mapping) -> Optional[SourcePosition]:
+    if "line" not in data or "column" not in data:
+        return None
+    return SourcePosition(
+        line=int(data["line"]),
+        column=int(data["column"]),
+        file=data.get("file"),
+    )
+
+
+def diagnostic_from_dict(data: Mapping) -> Diagnostic:
+    """Rehydrate a :meth:`Diagnostic.to_dict` payload.
+
+    Exact inverse of ``to_dict`` (the run ledger round-trips error
+    diagnostics through JSON so a resumed run reports them verbatim).
+    Raises ``KeyError`` on an unregistered code — a ledger written by a
+    different code version fails validation rather than lying.
+    """
+    return Diagnostic(
+        code=str(data["code"]),
+        message=str(data["message"]),
+        severity=Severity(data["severity"]) if "severity" in data else None,
+        position=_position_from_dict(data),
+        impl=data.get("impl"),
+        notes=tuple(
+            Note(
+                message=str(note["message"]),
+                position=_position_from_dict(note),
+            )
+            for note in data.get("notes", ())
+        ),
+    )
 
 
 #: How many trailing traceback lines an OL900 diagnostic keeps as notes.

@@ -111,6 +111,8 @@ def check_program(
     max_retries: int = 2,
     static_discharge: str = "off",
     check_discharge: bool = False,
+    run_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> CheckReport:
     """Parse, validate, and verify an oolong program text.
 
@@ -138,6 +140,10 @@ def check_program(
     effect analyzer that discharges frame obligations before the prover —
     see :mod:`repro.analysis.effects` and
     :func:`repro.vcgen.checker.check_scope`.
+
+    ``run_dir`` keeps a crash-safe run ledger in that directory and
+    ``resume=True`` replays the verdicts it committed before a crash —
+    see :mod:`repro.parallel.ledger`.
     """
     with _maybe_tracing(tracer), _maybe_journaling(events):
         return check_scope(
@@ -153,6 +159,8 @@ def check_program(
             max_retries=max_retries,
             static_discharge=static_discharge,
             check_discharge=check_discharge,
+            run_dir=run_dir,
+            resume=resume,
         )
 
 
@@ -173,6 +181,8 @@ def check_program_resilient(
     max_retries: int = 2,
     static_discharge: str = "off",
     check_discharge: bool = False,
+    run_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> CheckReport:
     """Parse, validate, and verify; never raises.
 
@@ -204,6 +214,8 @@ def check_program_resilient(
             max_retries=max_retries,
             static_discharge=static_discharge,
             check_discharge=check_discharge,
+            run_dir=run_dir,
+            resume=resume,
         )
 
 
@@ -222,6 +234,8 @@ def _check_program_resilient(
     max_retries: int = 2,
     static_discharge: str = "off",
     check_discharge: bool = False,
+    run_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> CheckReport:
     report = CheckReport()
     try:
@@ -253,6 +267,8 @@ def _check_program_resilient(
             max_retries=max_retries,
             static_discharge=static_discharge,
             check_discharge=check_discharge,
+            run_dir=run_dir,
+            resume=resume,
         )
     except ReproError as exc:
         from repro.analysis.diagnostics import diagnostic_from_error

@@ -45,6 +45,14 @@ server for ``--cache-url``; both take ``--http HOST:PORT`` to expose
 cache server that cannot be reached degrades the run to local checking
 with an OL904 warning — it never fails it. See README "Distributed
 checking".
+``--run-dir DIR`` keeps a crash-safe fsync'd run ledger: a run killed
+mid-flight (even SIGKILL) resumes with ``--resume``, replaying the
+committed verdicts and checking only the remainder, and the resumed
+report is byte-identical to an uninterrupted run (damaged or stale
+ledgers degrade with OL905, never fail). Both servers drain gracefully
+on SIGTERM/^C — stop accepting, finish in-flight work within
+``--drain-timeout``, announce a final ``server-stop`` record, exit 0.
+See README "Crash recovery & graceful shutdown".
 ``oolong-check events report FILE`` analyzes a ``--events`` journal
 after the fact (utilization, lease latencies, OL901–OL904 summaries,
 cache effectiveness, the critical path); ``events export --trace OUT
@@ -373,6 +381,26 @@ def build_parser() -> argparse.ArgumentParser:
         "evicting least-recently-used entries on store",
     )
     parser.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        default=None,
+        help="keep a crash-safe run ledger in DIR (created if missing): "
+        "every finished verdict is committed to an fsync'd append-only "
+        "JSONL file before the run moves on, so a run killed mid-flight "
+        "(SIGKILL, OOM, power loss) can be resumed with --resume. A "
+        "damaged or out-of-date ledger is rotated aside with an OL905 "
+        "warning — it never fails the run",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --run-dir: reuse the verdicts already committed to "
+        "the ledger (validated per-implementation against the current "
+        "sources, limits, and checker version) and check only the "
+        "remainder; the final report is byte-identical to an "
+        "uninterrupted run",
+    )
+    parser.add_argument(
         "--max-retries",
         type=_nonneg_int,
         metavar="K",
@@ -481,6 +509,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def check_main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.resume and not args.run_dir:
+        print("error: --resume requires --run-dir DIR", file=sys.stderr)
+        return 2
     sources, read_error = _read_sources(args.files)
     if read_error is not None:
         print(f"error: {read_error}", file=sys.stderr)
@@ -510,10 +541,24 @@ def check_main(argv: Optional[List[str]] = None) -> int:
         args.explain = True
     outcome = {"report": None}
     try:
-        from repro.obs import journaling
+        from contextlib import nullcontext
 
+        from repro.obs import journaling
+        from repro.testing.chaos import plan_from_env
+        from repro.testing.faults import inject
+
+        # The chaos harness reaches subprocess runs through the
+        # environment (OOLONG_CHAOS="stage@hit,..."): install the plan
+        # exactly as `inject` would in-process, so coordinator kill
+        # points fire inside real CLI runs.
+        chaos_plan = plan_from_env()
         with journaling(journal):
-            return _check_traced(args, sources, limits, tracer, outcome)
+            with (
+                inject(chaos_plan)
+                if chaos_plan is not None
+                else nullcontext()
+            ):
+                return _check_traced(args, sources, limits, tracer, outcome)
     finally:
         # Exports happen on every exit path — a trace of a failing or
         # crashing run is exactly the one worth keeping (spans are
@@ -551,6 +596,8 @@ def _check_traced(args, sources, limits: Limits, tracer, outcome) -> int:
                 max_retries=args.max_retries,
                 static_discharge=args.static_discharge,
                 check_discharge=args.check_discharge,
+                run_dir=args.run_dir,
+                resume=args.resume,
             )
             outcome["report"] = report
         except ReproError as error:
@@ -562,6 +609,14 @@ def _check_traced(args, sources, limits: Limits, tracer, outcome) -> int:
                 file=sys.stderr,
             )
             return 2
+    if report.ledger_summary:
+        # Routine recovery detail (resumed counts, a torn tail trimmed,
+        # duplicates collapsed, stale entries dropped) goes to stderr so
+        # the report itself stays byte-identical to an uninterrupted
+        # run; whole-ledger failures become OL905 report diagnostics in
+        # the checker instead.
+        for warning in report.ledger_summary.get("warnings", ()):
+            print(f"warning: OL905: {warning}", file=sys.stderr)
     if args.format == "json":
         from repro.analysis.diagnostics import render_json
 
@@ -687,6 +742,23 @@ def _write_exports(args, tracer, outcome, journal=None) -> None:
             os.path.join(args.cache_dir, "summary.json"),
             lambda path: atomic_write_text(
                 path, json.dumps(summary, indent=2, sort_keys=True) + "\n"
+            ),
+        )
+    if getattr(args, "run_dir", None):
+        import json
+        import os
+
+        from repro.parallel.cache import atomic_write_text
+
+        ledger_summary = (
+            report.ledger_summary if report is not None else None
+        ) or {"directory": args.run_dir, "note": "run ended before checking"}
+        _export(
+            "ledger summary",
+            os.path.join(args.run_dir, "summary.json"),
+            lambda path: atomic_write_text(
+                path,
+                json.dumps(ledger_summary, indent=2, sort_keys=True) + "\n",
             ),
         )
 
@@ -829,6 +901,15 @@ def workers_main(argv: Optional[List[str]] = None) -> int:
         help="append to --events FILE instead of truncating it",
     )
     parser.add_argument(
+        "--drain-timeout",
+        type=_nonneg_float,
+        metavar="S",
+        default=10.0,
+        help="with serve: on SIGTERM or ^C, seconds to let in-flight "
+        "jobs finish before remaining workers are terminated "
+        "(default: 10)",
+    )
+    parser.add_argument(
         "--timeout",
         type=_nonneg_float,
         metavar="SECONDS",
@@ -909,6 +990,7 @@ def workers_main(argv: Optional[List[str]] = None) -> int:
                 token=args.token,
                 status_address=status_address,
                 http_address=http_address,
+                drain_timeout=args.drain_timeout,
             )
     except KeyboardInterrupt:
         pass
@@ -981,6 +1063,15 @@ def cache_main(argv: Optional[List[str]] = None) -> int:
         "--events-append",
         action="store_true",
         help="append to --events FILE instead of truncating it",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=_nonneg_float,
+        metavar="S",
+        default=10.0,
+        help="with serve: on SIGTERM or ^C, seconds to let connected "
+        "clients finish in-flight requests before they are severed "
+        "(default: 10)",
     )
     parser.add_argument(
         "--timeout",
@@ -1056,6 +1147,7 @@ def cache_main(argv: Optional[List[str]] = None) -> int:
                 max_bytes=args.max_bytes or None,
                 token=args.token,
                 http_address=http_address,
+                drain_timeout=args.drain_timeout,
             )
     except KeyboardInterrupt:
         pass
@@ -1141,8 +1233,16 @@ def events_main(argv: Optional[List[str]] = None) -> int:
         render_report_text,
     )
 
+    def _warn_skip(lineno: int, reason: str) -> None:
+        # A journal from a killed run legitimately ends in a torn line;
+        # analyzing what *was* recorded is the whole point.
+        print(
+            f"warning: OL905: {args.file}:{lineno}: skipped {reason}",
+            file=sys.stderr,
+        )
+
     try:
-        records = read_journal(args.file)
+        records = read_journal(args.file, on_skip=_warn_skip)
     except (OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

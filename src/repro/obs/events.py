@@ -75,11 +75,15 @@ EVENT_KINDS = (
     "cache-store",
     "cache-evict",
     "cache-reject",  # OL903
+    "cache-reconnected",
     # transport
     "frame-rejected",
     "frame-resync",
     # graceful degradation
     "degraded",  # OL904
+    # crash-safe run ledger
+    "ledger-commit",
+    "ledger-skip",  # OL905
 )
 
 _KIND_SET = frozenset(EVENT_KINDS)
@@ -167,6 +171,14 @@ class EventJournal:
 
 _ACTIVE: Optional[EventJournal] = None
 
+#: When a run ledger is open, the checker installs its commit function
+#: here.  :func:`emit_impl_checked` is the single choke point every
+#: backend (serial loop, local supervisor, fleet coordinator) crosses
+#: when a verdict is decided, so tapping it here gives the write-ahead
+#: ledger complete coverage without touching any emission site — and it
+#: works even when no ``--events`` journal is installed.
+_VERDICT_SINK: Optional[Callable[..., None]] = None
+
 
 def journal() -> Optional[EventJournal]:
     """The installed journal, or None (the fast-path check)."""
@@ -202,6 +214,12 @@ def emit_impl_checked(
     by ``(impl, index)``: a degraded fleet re-announces its completed
     jobs through the local supervisor as ``preresolved`` records.
     """
+    sink = _VERDICT_SINK
+    if sink is not None:
+        try:
+            sink(verdict, preresolved=preresolved)
+        except Exception:
+            pass  # a broken ledger must never fail a check
     active = _ACTIVE
     if active is None:
         return
@@ -237,6 +255,26 @@ def announce(record: Dict[str, object]) -> None:
 
 
 @contextmanager
+def verdict_sink(sink: Optional[Callable[..., None]]) -> Iterator[None]:
+    """Install ``sink`` as the process-wide verdict tap for the duration.
+
+    ``verdict_sink(None)`` is a no-op passthrough. The checker wraps its
+    backend dispatch in this so the run ledger sees every decided
+    verdict without any backend knowing the ledger exists.
+    """
+    global _VERDICT_SINK
+    if sink is None:
+        yield
+        return
+    previous = _VERDICT_SINK
+    _VERDICT_SINK = sink
+    try:
+        yield
+    finally:
+        _VERDICT_SINK = previous
+
+
+@contextmanager
 def journaling(target: Optional[EventJournal]) -> Iterator[Optional[EventJournal]]:
     """Install ``target`` as the process-wide journal for the duration.
 
@@ -255,17 +293,40 @@ def journaling(target: Optional[EventJournal]) -> Iterator[Optional[EventJournal
         _ACTIVE = previous
 
 
-def read_journal(path: str) -> List[Dict[str, object]]:
-    """Parse a JSONL journal file back into a list of records."""
+def read_journal(
+    path: str,
+    *,
+    strict: bool = True,
+    on_skip: Optional[Callable[[int, str], None]] = None,
+) -> List[Dict[str, object]]:
+    """Parse a JSONL journal file back into a list of records.
+
+    A process killed mid-write (SIGKILL, power loss) leaves a torn
+    final line; that is expected crash debris, not corruption, so an
+    unparsable **last** line is always skipped — reported through
+    ``on_skip(lineno, reason)`` when given — rather than raised.  An
+    unparsable line *before* the last one means the file itself is
+    damaged: raised under ``strict`` (the default), skipped via
+    ``on_skip`` otherwise.
+    """
     records: List[Dict[str, object]] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except ValueError as exc:
-                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
-            records.append(record)
+        lines = handle.readlines()
+    last_lineno = len(lines)
+    for lineno, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+        except ValueError as exc:
+            reason = f"not JSON: {exc}"
+            if lineno == last_lineno:
+                reason = f"torn final record ({reason})"
+            elif strict:
+                raise ValueError(f"{path}:{lineno}: {reason}") from exc
+            if on_skip is not None:
+                on_skip(lineno, reason)
+            continue
+        records.append(record)
     return records

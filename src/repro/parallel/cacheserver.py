@@ -19,14 +19,21 @@ Availability is strictly best-effort: :class:`RemoteCache` raises
 :class:`CacheUnavailable` only at *connect* time (the checker then
 degrades to the local cache with an ``OL904`` warning); once a run is
 underway any transport failure trips a circuit breaker — the remote
-cache silently becomes a zero-hit cache for the rest of the run, because
-a mid-run cache outage must never fail or stall proving.
+cache silently becomes a zero-hit cache, because a mid-run cache outage
+must never fail or stall proving. The breaker is *half-open*: after a
+trip the client schedules reconnect probes on a jittered exponential
+backoff (deterministic per client, see
+:func:`repro.parallel.jobs.backoff_delay`) and, when a probe's
+re-handshake succeeds, swaps in the fresh connection and resumes
+remote traffic — so a cache server restarted mid-run serves the rest
+of the run instead of the outage being permanent.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import signal
 import threading
 import time
 from typing import List, Optional, Tuple
@@ -151,6 +158,28 @@ class CacheServer:
             self._accept_thread.join(timeout=2.0)
         for thread in self._threads:
             thread.join(timeout=2.0)
+
+    def drain(self, timeout: float = 10.0) -> dict:
+        """Graceful shutdown: stop accepting, let clients finish, stop.
+
+        Closes the listener first (no new connections), then gives
+        connected clients up to ``timeout`` seconds to finish their
+        in-flight requests and say ``bye``; whoever is still connected
+        at the deadline is severed by :meth:`stop`. Returns
+        ``{"drained": n, "terminated": m}`` for the stop announcement.
+        """
+        close_listener(self._listener)
+        deadline = time.monotonic() + max(0.0, timeout)
+        drained = 0
+        stragglers = 0
+        for thread in self._threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                stragglers += 1
+            else:
+                drained += 1
+        self.stop()
+        return {"drained": drained, "terminated": stragglers}
 
     def __enter__(self) -> "CacheServer":
         return self.start()
@@ -292,6 +321,31 @@ class CacheServer:
         }
 
 
+def _dial(
+    url: str, *, timeout: float, token: Optional[str]
+) -> FramedSocket:
+    """Dial ``HOST:PORT`` and complete the hello/welcome handshake."""
+    try:
+        address = parse_address(url)
+    except ValueError as exc:
+        raise CacheUnavailable(str(exc)) from exc
+    try:
+        channel = connect(address, timeout=timeout)
+    except TransportError as exc:
+        raise CacheUnavailable(f"cache server {url}: {exc}") from exc
+    try:
+        channel.send(("hello", PROTOCOL, token))
+        reply = channel.recv(timeout=timeout)
+    except TransportError as exc:
+        channel.close()
+        raise CacheUnavailable(f"cache server {url}: {exc}") from exc
+    if not (isinstance(reply, tuple) and reply and reply[0] == "welcome"):
+        channel.close()
+        reason = reply[1] if isinstance(reply, tuple) and len(reply) > 1 else reply
+        raise CacheUnavailable(f"cache server {url} rejected client: {reason}")
+    return channel
+
+
 class RemoteCache:
     """A :class:`ResultCache`-shaped client for a :class:`CacheServer`.
 
@@ -299,10 +353,21 @@ class RemoteCache:
     ``summary`` surface, same ``hits``/``misses``/``stores``/
     ``rejections`` counters (counting *this client's* traffic). After a
     mid-run transport failure the breaker trips (``degraded`` holds the
-    reason) and every later operation is a local no-op miss.
+    reason) and operations become local no-op misses — except that each
+    operation first checks whether a half-open reconnect probe is due,
+    and a successful probe re-handshakes and closes the breaker again
+    (``outages``/``reconnects`` count the transitions).
     """
 
-    def __init__(self, channel: FramedSocket, url: str):
+    def __init__(
+        self,
+        channel: FramedSocket,
+        url: str,
+        *,
+        token: Optional[str] = None,
+        timeout: float = 5.0,
+        reconnect_backoff: float = 0.5,
+    ):
         self._channel = channel
         self.directory = f"remote:{url}"
         self.url = url
@@ -312,6 +377,18 @@ class RemoteCache:
         self.rejections: List[Tuple[str, str]] = []
         self.degraded: Optional[str] = None
         self._lock = threading.Lock()
+        # Half-open breaker state: the credentials to redial with, the
+        # (monotonic) time the next probe is allowed, and the attempt
+        # counter driving the exponential backoff. ``reconnect_backoff``
+        # is the backoff base in seconds — tests shrink it to make the
+        # outage-recovery window short.
+        self._token = token
+        self._timeout = timeout
+        self.reconnect_backoff = reconnect_backoff
+        self.outages = 0
+        self.reconnects = 0
+        self._probe_attempt = 0
+        self._probe_at: Optional[float] = None
 
     @classmethod
     def connect(
@@ -322,33 +399,69 @@ class RemoteCache:
         token: Optional[str] = None,
     ) -> "RemoteCache":
         """Dial ``HOST:PORT`` and shake hands; raises CacheUnavailable."""
-        try:
-            address = parse_address(url)
-        except ValueError as exc:
-            raise CacheUnavailable(str(exc)) from exc
-        try:
-            channel = connect(address, timeout=timeout)
-        except TransportError as exc:
-            raise CacheUnavailable(f"cache server {url}: {exc}") from exc
-        try:
-            channel.send(("hello", PROTOCOL, token))
-            reply = channel.recv(timeout=timeout)
-        except TransportError as exc:
-            channel.close()
-            raise CacheUnavailable(f"cache server {url}: {exc}") from exc
-        if not (isinstance(reply, tuple) and reply and reply[0] == "welcome"):
-            channel.close()
-            reason = reply[1] if isinstance(reply, tuple) and len(reply) > 1 else reply
-            raise CacheUnavailable(f"cache server {url} rejected client: {reason}")
-        return cls(channel, url)
+        channel = _dial(url, timeout=timeout, token=token)
+        return cls(channel, url, token=token, timeout=timeout)
 
     # ------------------------------------------------------------------
+
+    def _trip(self, reason: str) -> None:
+        """Open the breaker and schedule the first half-open probe."""
+        self.degraded = reason
+        self.outages += 1
+        self._probe_attempt = 0
+        try:
+            self._channel.close()
+        except Exception:
+            pass
+        self._schedule_probe()
+
+    def _schedule_probe(self) -> None:
+        from repro.parallel.jobs import backoff_delay
+
+        self._probe_at = time.monotonic() + backoff_delay(
+            self.reconnect_backoff,
+            self._probe_attempt,
+            token=f"{self.url}#{self.outages}.{self._probe_attempt}",
+        )
+
+    def _maybe_reconnect(self) -> None:
+        """One half-open probe, if one is due. Caller holds the lock.
+
+        A failed probe costs at most the (short) probe timeout and
+        pushes the next attempt further out; a successful one swaps the
+        fresh connection in and closes the breaker.
+        """
+        if self._probe_at is None or time.monotonic() < self._probe_at:
+            return
+        try:
+            channel = _dial(
+                self.url,
+                timeout=min(self._timeout, 2.0),
+                token=self._token,
+            )
+        except CacheUnavailable:
+            self._probe_attempt += 1
+            self._schedule_probe()
+            return
+        self._channel = channel
+        self.degraded = None
+        self.reconnects += 1
+        self._probe_at = None
+        self._probe_attempt = 0
+        obs_events.emit(
+            "cache-reconnected",
+            address=self.url,
+            count=self.reconnects,
+            backend="remote",
+        )
 
     def _request(self, message: tuple, *, timeout: float = 10.0):
         """One request/response round trip, tripping the breaker on failure."""
         with self._lock:
             if self.degraded is not None:
-                return None
+                self._maybe_reconnect()
+                if self.degraded is not None:
+                    return None
             try:
                 self._channel.send(message)
                 while True:
@@ -358,10 +471,10 @@ class RemoteCache:
                 # The *response* was damaged in flight. The stream is
                 # still aligned, but request/response pairing is lost —
                 # safer to degrade than to mis-pair replies.
-                self.degraded = f"response frame rejected: {exc}"
+                self._trip(f"response frame rejected: {exc}")
                 return None
             except TransportError as exc:
-                self.degraded = f"cache connection lost: {exc}"
+                self._trip(f"cache connection lost: {exc}")
                 return None
 
     def load(self, key: str) -> Optional[dict]:
@@ -442,6 +555,9 @@ class RemoteCache:
         }
         if self.degraded is not None:
             summary["degraded"] = self.degraded
+        if self.outages:
+            summary["outages"] = self.outages
+            summary["reconnects"] = self.reconnects
         return summary
 
 
@@ -498,8 +614,17 @@ def serve_cache_forever(
     max_bytes: Optional[int] = None,
     token: Optional[str] = None,
     http_address: Optional[Tuple[str, int]] = None,
+    drain_timeout: float = 10.0,
 ) -> None:
-    """Blocking entry point for ``oolong-check cache serve``."""
+    """Blocking entry point for ``oolong-check cache serve``.
+
+    SIGTERM and SIGINT (Ctrl-C) both trigger a graceful drain: the
+    listener closes immediately (no new clients), connected clients get
+    up to ``drain_timeout`` seconds to finish in-flight requests, and
+    the final ``server-stop`` announcement records the signal that
+    caused the shutdown plus the drain outcome. Exits normally (status
+    0) — a signal-driven stop is the *intended* way to end a server.
+    """
     server = CacheServer(
         directory,
         address,
@@ -508,6 +633,20 @@ def serve_cache_forever(
         http_address=http_address,
     )
     server.start()
+    stop = {"reason": "exit"}
+
+    def _on_term(signum, frame):
+        stop["reason"] = "sigterm"
+        raise KeyboardInterrupt
+
+    # Install the handler *before* announcing server-start: the
+    # announcement is the readiness signal scripts wait on, so a
+    # SIGTERM may arrive the instant it is printed.
+    previous_term = None
+    try:
+        previous_term = signal.signal(signal.SIGTERM, _on_term)
+    except (ValueError, OSError):  # pragma: no cover — non-main thread
+        previous_term = None
     record = {
         "event": "server-start",
         "kind": "cache-server",
@@ -517,19 +656,32 @@ def serve_cache_forever(
     }
     if server.http_url is not None:
         record["http"] = server.http_url
-    obs_events.announce(record)
+    outcome = {"drained": 0, "terminated": 0}
     try:
-        while True:
+        # The announcement is inside the try: a signal that lands the
+        # instant the readiness line is printed must still exit through
+        # the drain path below.
+        obs_events.announce(record)
+        while not server._stop.is_set():
             server._stop.wait(3600)
     except KeyboardInterrupt:
-        pass
+        if stop["reason"] == "exit":
+            stop["reason"] = "sigint"
     finally:
-        server.stop()
+        if previous_term is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous_term)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        outcome = server.drain(drain_timeout)
         obs_events.announce(
             {
                 "event": "server-stop",
                 "kind": "cache-server",
                 "address": server.url,
                 "pid": os.getpid(),
+                "reason": stop["reason"],
+                "drained": outcome["drained"],
+                "terminated": outcome["terminated"],
             }
         )

@@ -1068,14 +1068,20 @@ def fleet_worker_main(
     reconnect_delay: float = 0.2,
     io_timeout: float = 30.0,
     jobs_served=None,
+    drain=None,
 ) -> None:
     """One socket worker: dial the coordinator, steal, prove, repeat.
 
     Runs until the coordinator says ``shutdown``, the reconnect budget
-    runs out, or — for locally spawned workers — the parent process
-    disappears (the same ``getppid`` orphan watchdog the pipe workers
-    use, so a SIGKILLed coordinator never leaves orphans).
+    runs out, the ``drain`` event is set (a pool-owned
+    ``multiprocessing.Event``: finish the in-flight job, then exit
+    instead of stealing another), or — for locally spawned workers —
+    the parent process disappears (the same ``getppid`` orphan watchdog
+    the pipe workers use, so a SIGKILLed coordinator never leaves
+    orphans).
     """
+    import signal
+
     from repro.obs import events as events_module
     from repro.obs import tracer as tracer_module
     from repro.testing import faults as faults_module
@@ -1086,7 +1092,17 @@ def fleet_worker_main(
     # policy, and the journal records the coordinator's view).
     tracer_module._ACTIVE = None
     events_module._ACTIVE = None
+    events_module._VERDICT_SINK = None
     faults_module._ACTIVE = None
+
+    # A terminal Ctrl-C delivers SIGINT to the whole foreground process
+    # group; the *parent* coordinates shutdown (drain or terminate), so
+    # a pool child must not die mid-job with a KeyboardInterrupt
+    # traceback of its own.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass  # not the main thread, or an embedded interpreter
 
     if parent_pid is not None:
         def _watchdog():
@@ -1099,6 +1115,8 @@ def fleet_worker_main(
 
     attempts_left = reconnect_attempts
     while attempts_left > 0:
+        if drain is not None and drain.is_set():
+            return
         attempts_left -= 1
         try:
             channel = connect(address, timeout=5.0)
@@ -1111,9 +1129,10 @@ def fleet_worker_main(
             renew_interval=renew_interval,
             io_timeout=io_timeout,
             jobs_served=jobs_served,
+            drain=drain,
         )
         channel.close()
-        if outcome == "shutdown":
+        if outcome in ("shutdown", "drained"):
             return
         if outcome == "registered":
             # A productive session that later lost its link: reset the
@@ -1129,6 +1148,7 @@ def _worker_session(
     renew_interval: float,
     io_timeout: float,
     jobs_served=None,
+    drain=None,
 ) -> str:
     """One registration + steal/prove loop; returns why it ended."""
     try:
@@ -1145,6 +1165,15 @@ def _worker_session(
     _, _name, scope, job_limits, explain = welcome
     registered = True
     while True:
+        if drain is not None and drain.is_set():
+            # Graceful drain: the in-flight job (if any) already
+            # finished — stop stealing and say goodbye so the
+            # coordinator deregisters us instead of reclaiming a lease.
+            try:
+                channel.send(("bye",))
+            except TransportError:
+                pass
+            return "drained"
         try:
             channel.send(("steal",))
             # Short reply deadline: if the reply frame was dropped (the
@@ -1261,6 +1290,9 @@ class WorkerPool:
         # Unsigned long, lock-protected: workers increment it after each
         # successfully delivered result (see ``_worker_session``).
         self._jobs_served = self._context.Value("L", 0)
+        # Set by drain(): workers finish their in-flight job, then exit
+        # instead of stealing another.
+        self._drain = self._context.Event()
         self._procs: List = []
         self._status_server: Optional[StatusServer] = None
         if status_address is not None:
@@ -1299,6 +1331,7 @@ class WorkerPool:
                     "reconnect_attempts": 1_000_000_000,
                     "reconnect_delay": 1.0,
                     "jobs_served": self._jobs_served,
+                    "drain": self._drain,
                 },
                 name=f"oolong-fleet-worker-{index}",
                 daemon=False,
@@ -1346,6 +1379,32 @@ class WorkerPool:
         for process in self._procs:
             process.join()
 
+    def drain(self, timeout: float = 10.0) -> dict:
+        """Graceful shutdown: let in-flight jobs finish, then stop.
+
+        Sets the drain event (workers exit after their current job
+        instead of stealing another) and waits up to ``timeout`` seconds
+        total for them; stragglers still running at the deadline are
+        terminated. Returns ``{"drained": n, "terminated": m}`` so the
+        server entry point can announce how clean the exit was.
+        """
+        self._drain.set()
+        deadline = time.monotonic() + max(0.0, timeout)
+        drained = 0
+        stragglers = []
+        for process in self._procs:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                stragglers.append(process)
+            else:
+                drained += 1
+        for process in stragglers:
+            process.terminate()
+        for process in stragglers:
+            process.join(timeout=5.0)
+        self.stop()
+        return {"drained": drained, "terminated": len(stragglers)}
+
     def stop(self) -> None:
         obs_events.emit(
             "server-stop",
@@ -1371,8 +1430,18 @@ def serve_workers_forever(
     token: Optional[str] = None,
     status_address: Optional[Tuple[str, int]] = None,
     http_address: Optional[Tuple[str, int]] = None,
+    drain_timeout: float = 10.0,
 ) -> None:
-    """Blocking entry point for ``oolong-check workers serve``."""
+    """Blocking entry point for ``oolong-check workers serve``.
+
+    SIGTERM and SIGINT (Ctrl-C) both exit through the graceful drain
+    path: workers finish their in-flight job (up to ``drain_timeout``
+    seconds), the structured ``server-stop`` line is announced with the
+    signal and drain outcome, and the function returns normally so the
+    CLI exits 0.
+    """
+    import signal
+
     pool = WorkerPool(
         address,
         jobs=jobs,
@@ -1381,6 +1450,16 @@ def serve_workers_forever(
         http_address=http_address,
     )
     pool.start()
+    stop = {"reason": "exit"}
+
+    def _on_term(signum, frame):
+        stop["reason"] = "sigterm"
+        raise KeyboardInterrupt
+
+    # Handler first, announcement second: the server-start line is the
+    # readiness signal scripts key on, and a SIGTERM may land the
+    # moment it is printed.
+    previous_term = signal.signal(signal.SIGTERM, _on_term)
     record = {
         "event": "server-start",
         "kind": "worker-pool",
@@ -1392,19 +1471,27 @@ def serve_workers_forever(
         record["address"] = pool.status_url
     if pool.http_url is not None:
         record["http"] = pool.http_url
-    obs_events.announce(record)
+    outcome = {"drained": 0, "terminated": 0}
     try:
+        # Announce inside the try: a signal that lands the instant the
+        # readiness line is printed must still drain gracefully.
+        obs_events.announce(record)
         pool.join()
     except KeyboardInterrupt:
-        pass
+        if stop["reason"] == "exit":
+            stop["reason"] = "sigint"
     finally:
-        pool.stop()
+        signal.signal(signal.SIGTERM, previous_term)
+        outcome = pool.drain(drain_timeout)
         obs_events.announce(
             {
                 "event": "server-stop",
                 "kind": "worker-pool",
                 "coordinator": pool.coordinator_url,
                 "pid": os.getpid(),
+                "reason": stop["reason"],
+                "drained": outcome["drained"],
+                "terminated": outcome["terminated"],
             }
         )
 

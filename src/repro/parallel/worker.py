@@ -121,6 +121,7 @@ def worker_main(
 
     tracer_module._ACTIVE = None
     events_module._ACTIVE = None
+    events_module._VERDICT_SINK = None
     faults_module._ACTIVE = None
 
     stop_event = threading.Event()

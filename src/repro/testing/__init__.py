@@ -4,12 +4,23 @@
 used by the resilience test suite and the CI ``fault-injection`` job. It
 lives under ``src`` (rather than ``tests/``) because the pipeline modules
 carry its injection points; importing it must never pull in test-only
-dependencies.
+dependencies. :mod:`repro.testing.chaos` layers the coordinator-kill
+harness on top: it crosses the process boundary (``OOLONG_CHAOS``)
+because a killed coordinator can only be observed from outside.
 """
 
+from repro.testing.chaos import (
+    CHAOS_ENV,
+    parse_chaos_spec,
+    plan_from_env,
+    run_cli,
+)
 from repro.testing.faults import (
     ACTIONS,
+    COORDINATOR_STAGES,
+    FLEET_STAGES,
     STAGES,
+    SUPERVISOR_STAGES,
     Corrupted,
     Fault,
     FaultError,
@@ -20,11 +31,18 @@ from repro.testing.faults import (
 
 __all__ = [
     "ACTIONS",
+    "CHAOS_ENV",
+    "COORDINATOR_STAGES",
+    "FLEET_STAGES",
     "STAGES",
+    "SUPERVISOR_STAGES",
     "Corrupted",
     "Fault",
     "FaultError",
     "FaultPlan",
     "fault_point",
     "inject",
+    "parse_chaos_spec",
+    "plan_from_env",
+    "run_cli",
 ]

@@ -114,6 +114,37 @@ FLEET_STAGES: Tuple[str, ...] = (
     "worker-churn",
 )
 
+#: Fault kinds interpreted by the *coordinator process itself* — the run
+#: ledger (:mod:`repro.parallel.ledger`) and the report merge in
+#: :mod:`repro.vcgen.checker`. They model the coordinator dying or its
+#: write-ahead ledger being damaged, and drive the ``--resume``
+#: differential tests in ``tests/test_chaos.py``:
+#:
+#: * ``kill-coordinator`` — the coordinator exits with ``os._exit(137)``
+#:   (modelling SIGKILL: no atexit hooks, no flush; only fsync'd ledger
+#:   records survive) immediately after the ``hit``-th ledger commit;
+#: * ``kill-during-merge`` — the coordinator exits with ``os._exit(137)``
+#:   at the ``hit``-th merge of a finished job into the report —
+#:   *after* the verdict was committed but before it was reported;
+#: * ``truncate-ledger-tail`` — after the ``hit``-th commit the ledger's
+#:   trailing bytes are chopped mid-record, modelling a torn write the
+#:   resume reader must skip (OL905), not crash on;
+#: * ``duplicate-commit`` — the ``hit``-th ledger record is appended
+#:   twice, exercising the reader's dedupe (no impl re-reported, no
+#:   impl re-proved).
+#:
+#: As with the other out-of-process stages the ``hit`` index is a
+#: deterministic ordinal (the commit/merge sequence number), and the
+#: stages stay out of :data:`STAGES` so existing seeded fuzz plans are
+#: unchanged; sweep them with ``FaultPlan.fuzz(seed,
+#: stages=COORDINATOR_STAGES)``.
+COORDINATOR_STAGES: Tuple[str, ...] = (
+    "kill-coordinator",
+    "kill-during-merge",
+    "truncate-ledger-tail",
+    "duplicate-commit",
+)
+
 
 class FaultError(RuntimeError):
     """The exception injected by ``raise`` faults (and raised by poison
@@ -158,7 +189,9 @@ class Fault:
     delay: float = 0.0
 
     def __post_init__(self):
-        known = STAGES + SUPERVISOR_STAGES + FLEET_STAGES
+        known = (
+            STAGES + SUPERVISOR_STAGES + FLEET_STAGES + COORDINATOR_STAGES
+        )
         if self.stage not in known:
             raise ValueError(
                 f"unknown stage {self.stage!r}; known: {known}"

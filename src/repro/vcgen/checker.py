@@ -125,6 +125,12 @@ class CheckReport:
     #: given. Like the other summaries, *not* part of ``to_dict`` — a
     #: fleet report stays byte-identical to a serial one.
     fleet_summary: Optional[dict] = None
+    #: Run-ledger bookkeeping (commits, resumed/stale/skipped records),
+    #: set when ``run_dir`` was given. Like the other summaries, *not*
+    #: part of ``to_dict`` or ``describe`` — a resumed report must stay
+    #: byte-identical to an uninterrupted one; the CLI surfaces recovery
+    #: warnings on stderr instead.
+    ledger_summary: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -340,8 +346,21 @@ def check_scope(
     max_retries: int = 2,
     static_discharge: str = "off",
     check_discharge: bool = False,
+    run_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> CheckReport:
     """Check every implementation in ``scope``.
+
+    ``run_dir`` makes the run crash-safe: every decided verdict is
+    fsync'd to a write-ahead ledger (:mod:`repro.parallel.ledger`)
+    before the run can complete, so a SIGKILL'd coordinator loses no
+    committed work. ``resume=True`` replays a previous ledger in the
+    same directory: records validated against the current scope's
+    content keys are preloaded as preresolved verdicts (the mechanism
+    OL904 degradation uses) and only the remainder is re-checked — the
+    resumed report is byte-identical to an uninterrupted run. Damaged
+    ledgers degrade (OL905), never crash; the ledger is disabled under
+    ``explain=True`` like the result cache.
 
     ``static_discharge="on"`` runs the interprocedural effect analyzer
     (:mod:`repro.analysis.effects`) ahead of vcgen: implementations whose
@@ -452,7 +471,23 @@ def check_scope(
             max_retries=max_retries,
             static_discharge=static_discharge,
             check_discharge=check_discharge,
+            run_dir=run_dir,
+            resume=resume,
         )
+
+
+def _ledger_degraded_diagnostic(detail: str) -> Diagnostic:
+    # The whole-ledger failure path (unusable directory, header skew):
+    # routine recovery (torn tail, stale records) stays out of the
+    # report so resumed output is byte-identical to an uninterrupted
+    # run; only "your durability is gone / everything re-checks" earns
+    # a report-level warning.
+    obs_events.emit("ledger-skip", reason=detail, code="OL905")
+    return Diagnostic(
+        code="OL905",
+        message=f"{detail}; all implementations re-checked",
+        severity=Severity.WARNING,
+    )
 
 
 def _fleet_degraded_diagnostic(detail: str) -> Diagnostic:
@@ -483,6 +518,8 @@ def _check_scope_traced(
     max_retries: int = 2,
     static_discharge: str = "off",
     check_discharge: bool = False,
+    run_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> CheckReport:
     from repro import obs
 
@@ -601,45 +638,90 @@ def _check_scope_traced(
 
             cache = ResultCache(cache_dir, max_bytes=cache_max_bytes)
 
-    if fleet is not None:
-        _check_impls_fleet(
-            scope,
-            limits,
-            deadline,
-            report,
-            fleet=fleet,
-            cache=cache,
-            job_timeout=job_timeout,
-            max_retries=max_retries,
-            explain=explain,
-            discharge=discharge,
-            check_discharge=check_discharge,
-        )
-    elif parallel is not None:
-        _check_impls_parallel(
-            scope,
-            limits,
-            deadline,
-            report,
-            parallel=parallel,
-            cache=cache,
-            job_timeout=job_timeout,
-            max_retries=max_retries,
-            explain=explain,
-            discharge=discharge,
-            check_discharge=check_discharge,
-        )
-    else:
-        _check_impls_serial(
-            scope,
-            limits,
-            deadline,
-            report,
-            cache=cache,
-            explain=explain,
-            discharge=discharge,
-            check_discharge=check_discharge,
-        )
+    ledger = None
+    resumed: dict = {}
+    if run_dir is not None and not explain:
+        # The ledger shares the cache's explain bypass: explanations are
+        # never persisted, so a replayed verdict would silently drop the
+        # requested blame report.
+        from repro.parallel.ledger import RunLedger
+
+        journal = obs_events.journal()
+        try:
+            ledger = RunLedger(
+                run_dir,
+                scope,
+                limits,
+                resume=resume,
+                run_id=journal.run_id if journal is not None else None,
+            )
+        except OSError as exc:
+            report.diagnostics.append(
+                _ledger_degraded_diagnostic(
+                    f"run ledger unusable in {run_dir!r} ({exc})"
+                )
+            )
+        if ledger is not None:
+            if ledger.discarded is not None:
+                report.diagnostics.append(
+                    _ledger_degraded_diagnostic(
+                        f"run ledger discarded ({ledger.discarded})"
+                    )
+                )
+            resumed = dict(ledger.preloaded)
+
+    with obs_events.verdict_sink(ledger.commit if ledger is not None else None):
+        if fleet is not None:
+            _check_impls_fleet(
+                scope,
+                limits,
+                deadline,
+                report,
+                fleet=fleet,
+                cache=cache,
+                job_timeout=job_timeout,
+                max_retries=max_retries,
+                explain=explain,
+                discharge=discharge,
+                check_discharge=check_discharge,
+                resumed=resumed,
+                ledger=ledger,
+            )
+        elif parallel is not None:
+            _check_impls_parallel(
+                scope,
+                limits,
+                deadline,
+                report,
+                parallel=parallel,
+                cache=cache,
+                job_timeout=job_timeout,
+                max_retries=max_retries,
+                explain=explain,
+                discharge=discharge,
+                check_discharge=check_discharge,
+                resumed=resumed,
+                ledger=ledger,
+            )
+        else:
+            _check_impls_serial(
+                scope,
+                limits,
+                deadline,
+                report,
+                cache=cache,
+                explain=explain,
+                discharge=discharge,
+                check_discharge=check_discharge,
+                resumed=resumed,
+                ledger=ledger,
+            )
+    if ledger is not None:
+        report.ledger_summary = ledger.summary()
+        report.ledger_summary["warnings"] = [
+            f"{where}: {reason}" for where, reason in ledger.warnings
+        ]
+        ledger.close()
     if cache is not None:
         report.diagnostics.extend(_cache_rejection_diagnostics(cache))
         report.cache_summary = cache.summary()
@@ -792,6 +874,8 @@ def _check_impls_serial(
     explain: bool,
     discharge=None,
     check_discharge: bool = False,
+    resumed: Optional[dict] = None,
+    ledger=None,
 ) -> None:
     if cache is not None:
         from repro.parallel.cache import (
@@ -803,6 +887,22 @@ def _check_impls_serial(
     for impls in scope.impls.values():
         for index, impl in enumerate(impls):
             entry = _discharge_entry(discharge, impl, index)
+            if resumed and (impl.name, index) in resumed:
+                # Replayed from the run ledger: no prover, no cache
+                # traffic — like a cache hit, served even past the
+                # scope deadline (the work was already paid for).
+                verdict = resumed[(impl.name, index)]
+                if entry is not None:
+                    if check_discharge:
+                        _compare_discharge(report, discharge, entry, verdict)
+                    else:
+                        _emit_discharge_findings(report, discharge, entry)
+                _record_verdict_metrics(verdict, cache_hit=False)
+                obs_events.emit_impl_checked(verdict, preresolved=True)
+                report.verdicts.append(verdict)
+                if ledger is not None:
+                    ledger.merge_chaos_point()
+                continue
             if entry is not None and not check_discharge:
                 # Statically discharged: no prover, no cache traffic
                 # (cached verdicts must always mean "the prover said
@@ -815,6 +915,8 @@ def _check_impls_serial(
                 )
                 obs_events.emit_impl_checked(verdict, discharged=True)
                 report.verdicts.append(verdict)
+                if ledger is not None:
+                    ledger.merge_chaos_point()
                 continue
             key = None
             if cache is not None:
@@ -827,6 +929,8 @@ def _check_impls_serial(
                     _record_verdict_metrics(verdict, cache_hit=True)
                     obs_events.emit_impl_checked(verdict, cache_hit=True)
                     report.verdicts.append(verdict)
+                    if ledger is not None:
+                        ledger.merge_chaos_point()
                     continue
             verdict, explain_crash = _check_impl(
                 scope, impl, index, limits, deadline, explain
@@ -842,6 +946,8 @@ def _check_impls_serial(
             _record_verdict_metrics(verdict, cache_hit=False)
             obs_events.emit_impl_checked(verdict)
             report.verdicts.append(verdict)
+            if ledger is not None:
+                ledger.merge_chaos_point()
 
 
 def _check_impls_parallel(
@@ -857,6 +963,8 @@ def _check_impls_parallel(
     explain: bool,
     discharge=None,
     check_discharge: bool = False,
+    resumed: Optional[dict] = None,
+    ledger=None,
 ) -> None:
     from repro.parallel.supervisor import ParallelOptions, run_parallel_checks
 
@@ -869,6 +977,11 @@ def _check_impls_parallel(
                     preresolved[(impl.name, index)] = _discharged_verdict(
                         impl, index, entry
                     )
+    discharged_keys = frozenset(preresolved)
+    for key, verdict in (resumed or {}).items():
+        # Ledger replays preresolve like discharge does, but stay out of
+        # discharged_keys so discharge findings/metrics stay truthful.
+        preresolved.setdefault(key, verdict)
 
     options = ParallelOptions(
         jobs=max(1, int(parallel)),
@@ -889,7 +1002,8 @@ def _check_impls_parallel(
         outcome.jobs,
         discharge,
         check_discharge,
-        discharged_keys=frozenset(preresolved),
+        discharged_keys=discharged_keys,
+        ledger=ledger,
     )
 
 
@@ -901,6 +1015,7 @@ def _merge_outcome_jobs(
     *,
     discharged_keys: frozenset,
     extra_cache_hits: frozenset = frozenset(),
+    ledger=None,
 ) -> None:
     """Merge a backend's completed jobs in job (declaration) order.
 
@@ -927,6 +1042,8 @@ def _merge_outcome_jobs(
             discharged=key in discharged_keys,
         )
         report.verdicts.append(job.verdict)
+        if ledger is not None:
+            ledger.merge_chaos_point()
 
 
 def _check_impls_fleet(
@@ -942,6 +1059,8 @@ def _check_impls_fleet(
     explain: bool,
     discharge=None,
     check_discharge: bool = False,
+    resumed: Optional[dict] = None,
+    ledger=None,
 ) -> None:
     """The distributed path: lease jobs to a socket fleet, degrade local.
 
@@ -967,6 +1086,8 @@ def _check_impls_fleet(
                         impl, index, entry
                     )
     discharged_keys = frozenset(preresolved)
+    for key, verdict in (resumed or {}).items():
+        preresolved.setdefault(key, verdict)
 
     options = FleetOptions.from_spec(
         fleet, job_timeout=job_timeout, max_retries=max_retries
@@ -997,6 +1118,7 @@ def _check_impls_fleet(
                 discharge,
                 check_discharge,
                 discharged_keys=discharged_keys,
+                ledger=ledger,
             )
             return
         report.diagnostics.append(
@@ -1033,6 +1155,7 @@ def _check_impls_fleet(
             check_discharge,
             discharged_keys=discharged_keys,
             extra_cache_hits=frozenset(extra_hits),
+            ledger=ledger,
         )
         return
 
@@ -1056,6 +1179,7 @@ def _check_impls_fleet(
         discharge,
         check_discharge,
         discharged_keys=discharged_keys,
+        ledger=ledger,
     )
 
 
